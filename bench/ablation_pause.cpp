@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablation — pause-while-waiting (paper §2.1): "a further important
+ * benefit of a callback is that a core can easily go into a
+ * power-saving mode while waiting"; the paper leaves demonstrating this
+ * to future work. This bench quantifies it in our model: a core blocked
+ * on a callback read is architecturally idle (no retries, no local
+ * spinning — the wake-up arrives as a response), so its blocked cycles
+ * can run at a low-power rate. Spinning techniques have no comparable
+ * window: MESI cores re-check their L1 and back-off cores must wake to
+ * retry.
+ *
+ * Reported per technique: total core stall cycles, the pausable
+ * (callback-blocked) fraction, and the resulting core-energy saving.
+ */
+
+#include "bench_common.hh"
+
+namespace cbsim::bench {
+namespace {
+
+std::string
+key(const std::string& bench_name, Technique t)
+{
+    return "pause/" + bench_name + "/" + techniqueName(t);
+}
+
+const Technique kTechniques[] = {
+    Technique::Invalidation,
+    Technique::BackOff10,
+    Technique::CbAll,
+    Technique::CbOne,
+};
+
+void
+printTables()
+{
+    std::cout << "\n=== Ablation: pause-while-waiting (paper §2.1) ===\n"
+              << "(pausable = cycles blocked on callbacks; saving = "
+                 "core energy at corePaused vs coreActive)\n\n";
+    TablePrinter table(std::cout,
+                       {"bench/technique", "stall-cyc", "pausable",
+                        "pausable%", "saving-nJ"},
+                       30, 13);
+    for (const auto& p : quickSuite()) {
+        for (Technique t : kTechniques) {
+            const auto& res = result(key(p.name, t));
+            const auto& r = res.run;
+            const double pct =
+                r.stallCycles
+                    ? 100.0 * static_cast<double>(r.cbBlockedCycles) /
+                          static_cast<double>(r.stallCycles)
+                    : 0.0;
+            table.row({p.name + std::string(" / ") + techniqueName(t),
+                       std::to_string(r.stallCycles),
+                       std::to_string(r.cbBlockedCycles), fmt(pct, 1),
+                       fmt(pauseSavings(r), 1)});
+        }
+        table.gap();
+    }
+    std::cout
+        << "Expected: only the callback techniques have a non-zero "
+           "pausable fraction; for synchronization-heavy benchmarks "
+           "most of their stall time is pausable.\n";
+}
+
+} // namespace
+} // namespace cbsim::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace cbsim;
+    using namespace cbsim::bench;
+    parseArgs(argc, argv);
+    static const std::vector<Profile> profiles = quickSuite();
+    for (const auto& p : profiles) {
+        for (Technique t : kTechniques) {
+            registerCell(key(p.name, t), [&p, t] {
+                return runExperiment(scaled(p, mode().scale), t,
+                                     mode().cores,
+                                     SyncChoice::scalable());
+            });
+        }
+    }
+    return runAndPrint(argc, argv, printTables);
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction benches: each (workload x
+ * technique) cell is registered as a google-benchmark with a single
+ * iteration; results are cached and the paper-shaped table is printed
+ * after the benchmark pass.
+ *
+ * Every bench accepts --quick (16 cores, scaled-down workloads) for fast
+ * smoke runs; the default configuration is the paper's 64-core system.
+ */
+
+#ifndef CBSIM_BENCH_BENCH_COMMON_HH
+#define CBSIM_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+namespace cbsim::bench {
+
+/** Global bench sizing, set by parseArgs. */
+struct BenchMode
+{
+    unsigned cores = 64;
+    double scale = 1.0;
+    unsigned microIters = 20;
+};
+
+inline BenchMode&
+mode()
+{
+    static BenchMode m;
+    return m;
+}
+
+/** Strip and apply --quick before google-benchmark sees argv. */
+inline void
+parseArgs(int& argc, char** argv)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            mode().cores = 16;
+            mode().scale = 0.25;
+            mode().microIters = 6;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+}
+
+/** Result cache keyed by a cell name chosen by the bench. */
+inline std::map<std::string, ExperimentResult>&
+cache()
+{
+    static std::map<std::string, ExperimentResult> c;
+    return c;
+}
+
+/**
+ * Register a single-iteration benchmark that runs @p fn once and
+ * records throughput counters; the result lands in cache()[key].
+ */
+inline void
+registerCell(const std::string& key,
+             std::function<ExperimentResult()> fn)
+{
+    benchmark::RegisterBenchmark(
+        key.c_str(),
+        [key, fn](benchmark::State& state) {
+            for (auto _ : state) {
+                auto res = fn();
+                state.counters["cycles"] =
+                    static_cast<double>(res.run.cycles);
+                state.counters["llc"] =
+                    static_cast<double>(res.run.llcAccesses);
+                state.counters["flit_hops"] =
+                    static_cast<double>(res.run.flitHops);
+                cache()[key] = std::move(res);
+            }
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+}
+
+inline const ExperimentResult&
+result(const std::string& key)
+{
+    auto it = cache().find(key);
+    if (it == cache().end())
+        fatal("bench cell not run: ", key);
+    return it->second;
+}
+
+/** Mean sync latency over the kinds a micro-bench exercises. */
+inline double
+syncLatency(const RunResult& r)
+{
+    double total = 0;
+    std::uint64_t count = 0;
+    for (const auto& k : r.sync) {
+        total += static_cast<double>(k.totalLatency);
+        count += k.completions;
+    }
+    return count ? total / static_cast<double>(count) : 0.0;
+}
+
+/** Run the registered cells, then call @p print. */
+inline int
+runAndPrint(int argc, char** argv, const std::function<void()>& print)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    print();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace cbsim::bench
+
+#endif // CBSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Producer/consumer pipeline on signal/wait flags (paper Figs. 18-19):
+ * a four-stage pipeline hands items down a chain of counting flags.
+ * Compares LLC-spinning (BackOff-0) against the callback encodings and
+ * prints per-stage wait latency — the "wait" series of Figure 20.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "harness/table.hh"
+#include "sync/signal_wait.hh"
+#include "system/chip.hh"
+
+using namespace cbsim;
+
+namespace {
+
+RunResult
+runPipeline(Technique tech, unsigned stages, unsigned items)
+{
+    ChipConfig cfg = ChipConfig::forTechnique(tech, 16);
+    Chip chip(cfg);
+    const SyncFlavor flavor = syncFlavorFor(tech);
+
+    SyncLayout layout;
+    std::vector<SignalHandle> stage_input;
+    for (unsigned s = 0; s < stages; ++s)
+        stage_input.push_back(makeSignal(layout));
+    const Addr processed = layout.allocLine(); // per-stage work tallies
+
+    for (CoreId t = 0; t < 16; ++t) {
+        Assembler a;
+        if (t < stages) {
+            for (unsigned i = 0; i < items; ++i) {
+                if (t > 0)
+                    emitWait(a, stage_input[t], flavor);
+                a.workImm(150 + 53 * t); // stage processing time
+                // tally: processed[t]++
+                a.movImm(1, processed + 8 * t);
+                a.ld(2, 1);
+                a.addImm(2, 2, 1);
+                a.st(2, 1);
+                if (t + 1 < stages)
+                    emitSignal(a, stage_input[t + 1], flavor);
+            }
+        }
+        chip.setProgram(t, a.assemble());
+    }
+    layout.apply(chip.dataStore());
+    RunResult r = chip.run();
+
+    // Sanity: every stage processed every item.
+    for (unsigned s = 0; s < stages; ++s) {
+        if (chip.dataStore().read(processed + 8 * s) != items)
+            fatal("pipeline lost items at stage ", s);
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    const unsigned stages = 4;
+    const unsigned items = quick ? 10 : 40;
+
+    std::cout << "Producer/consumer pipeline: " << stages
+              << " stages, " << items << " items\n\n";
+    TablePrinter table(std::cout,
+                       {"technique", "cycles", "llc-sync", "flit-hops",
+                        "wait-lat", "wakeups"},
+                       16, 12);
+    for (Technique t :
+         {Technique::Invalidation, Technique::BackOff0,
+          Technique::BackOff10, Technique::CbAll, Technique::CbOne}) {
+        RunResult r = runPipeline(t, stages, items);
+        const auto wk = static_cast<std::size_t>(SyncKind::Wait);
+        table.row({techniqueName(t), std::to_string(r.cycles),
+                   std::to_string(r.llcSyncAccesses),
+                   std::to_string(r.flitHops),
+                   fmt(r.sync[wk].meanLatency, 0),
+                   std::to_string(r.cbWakeups)});
+    }
+    std::cout << "\nSignal/wait is where callback-one shines: each "
+                 "signal wakes exactly the one consumer that needs it "
+                 "(st_cb1), with no spinning and no invalidations.\n";
+    return 0;
+}

@@ -1,0 +1,30 @@
+#include "coherence/backoff/backoff.hh"
+
+namespace cbsim {
+
+Tick
+BackoffPolicy::nextDelay(std::uint64_t pc)
+{
+    if (pc != lastPc_) {
+        lastPc_ = pc;
+        retries_ = 0;
+        return 0;
+    }
+    ++retries_;
+    if (!cfg_.enabled)
+        return cfg_.pauseDelay;
+    if (cfg_.maxExponent == 0)
+        return 0;
+    const unsigned exp =
+        retries_ - 1 < cfg_.maxExponent ? retries_ - 1 : cfg_.maxExponent;
+    return cfg_.baseDelay << exp;
+}
+
+void
+BackoffPolicy::reset()
+{
+    lastPc_ = ~0ULL;
+    retries_ = 0;
+}
+
+} // namespace cbsim

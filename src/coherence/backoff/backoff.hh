@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Exponential back-off for LLC spinning (VIPS-M / DeNovoSync style).
+ *
+ * The paper evaluates back-off with a capped number of exponentiations:
+ * BackOff-0 (no back-off at all), BackOff-5, BackOff-10, BackOff-15.
+ * The nth consecutive retry of the same spin load is delayed by
+ * base * 2^min(n, maxExponent); BackOff-0 never delays.
+ */
+
+#ifndef CBSIM_COHERENCE_BACKOFF_BACKOFF_HH
+#define CBSIM_COHERENCE_BACKOFF_BACKOFF_HH
+
+#include "sim/types.hh"
+
+namespace cbsim {
+
+/** Back-off policy parameters. */
+struct BackoffConfig
+{
+    bool enabled = false;      ///< false: callbacks/MESI need no back-off
+    unsigned maxExponent = 10; ///< exponentiation cap (0 = no back-off)
+    Tick baseDelay = 1;        ///< first retry delay, in cycles
+
+    /**
+     * Fixed re-check interval applied to spin retries when exponential
+     * back-off is disabled; models PAUSE-style local spin loops (used
+     * by the MESI baseline, where spinning hits in the L1 and only the
+     * re-check rate matters).
+     */
+    Tick pauseDelay = 0;
+
+    static BackoffConfig off() { return {false, 0, 0, 0}; }
+    static BackoffConfig
+    capped(unsigned max_exp, Tick base = 1)
+    {
+        return {true, max_exp, base, 0};
+    }
+    static BackoffConfig
+    pause(Tick interval)
+    {
+        return {false, 0, 0, interval};
+    }
+};
+
+/**
+ * Per-core back-off state machine. The core notifies the policy about
+ * every issued instruction; consecutive re-executions of the same
+ * spin-marked load grow the delay.
+ */
+class BackoffPolicy
+{
+  public:
+    explicit BackoffPolicy(const BackoffConfig& cfg) : cfg_(cfg) {}
+
+    /**
+     * Delay to apply before issuing the spin-marked load at @p pc.
+     * Call exactly once per dynamic spin-load issue.
+     */
+    Tick nextDelay(std::uint64_t pc);
+
+    /** A non-spin instruction executed: the spin streak is broken. */
+    void reset();
+
+    unsigned consecutiveRetries() const { return retries_; }
+
+  private:
+    BackoffConfig cfg_;
+    std::uint64_t lastPc_ = ~0ULL;
+    unsigned retries_ = 0;
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_COHERENCE_BACKOFF_BACKOFF_HH

@@ -1,0 +1,2 @@
+// Interface-only translation unit; anchors the controller module.
+#include "coherence/controller.hh"

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Abstract interfaces for L1 controllers and LLC banks, plus the shared
+ * per-bank timing helper (pipelined bank occupancy).
+ */
+
+#ifndef CBSIM_COHERENCE_CONTROLLER_HH
+#define CBSIM_COHERENCE_CONTROLLER_HH
+
+#include <functional>
+
+#include "coherence/mem_request.hh"
+#include "noc/mesh.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+namespace cbsim {
+
+/** Fence completion callback. */
+using FenceCompletion = std::function<void()>;
+
+/**
+ * Protocol-side of a core's private cache. One instance per core; the
+ * core blocks on access() until onComplete fires, and on fences until
+ * their completion fires.
+ */
+class L1Controller
+{
+  public:
+    virtual ~L1Controller() = default;
+
+    /** Issue a memory operation (at most one outstanding per core). */
+    virtual void access(MemRequest req) = 0;
+
+    /**
+     * self-invl fence: invalidate shared data in the L1 (and, per the
+     * paper's footnote 7, first self-downgrade transient dirty data).
+     * No-op under MESI.
+     */
+    virtual void selfInvalidate(FenceCompletion done) = 0;
+
+    /** self-down fence: write-through all dirty data. No-op under MESI. */
+    virtual void selfDowngrade(FenceCompletion done) = 0;
+
+    /** Network delivery for Port::Core messages at this node. */
+    virtual void handleMessage(const Message& msg) = 0;
+};
+
+/** Protocol-side of one LLC bank (home node for its address slice). */
+class LlcBank
+{
+  public:
+    virtual ~LlcBank() = default;
+
+    /** Network delivery for Port::Bank messages at this node. */
+    virtual void handleMessage(const Message& msg) = 0;
+};
+
+/**
+ * Pipelined-resource timing: a bank accepts one request per cycle and
+ * answers after its access latency. start() returns the cycle the access
+ * begins (after any queueing delay).
+ */
+class PipelinedResource
+{
+  public:
+    explicit PipelinedResource(EventQueue& eq) : eq_(eq) {}
+
+    /** Reserve the next issue slot at or after now. */
+    Tick
+    start()
+    {
+        const Tick begin = eq_.now() > nextFree_ ? eq_.now() : nextFree_;
+        nextFree_ = begin + 1;
+        return begin;
+    }
+
+    /**
+     * Reserve a slot and schedule @p fn when the access (of @p latency
+     * cycles) completes.
+     */
+    void
+    access(Tick latency, EventFn fn)
+    {
+        const Tick begin = start();
+        eq_.scheduleAt(begin + latency, std::move(fn));
+    }
+
+  private:
+    EventQueue& eq_;
+    Tick nextFree_ = 0;
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_COHERENCE_CONTROLLER_HH

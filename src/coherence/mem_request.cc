@@ -1,0 +1,39 @@
+#include "coherence/mem_request.hh"
+
+#include "sim/log.hh"
+
+namespace cbsim {
+
+bool
+bypassesL1(MemOp op)
+{
+    switch (op) {
+      case MemOp::Load:
+      case MemOp::Store:
+        return false;
+      default:
+        return true;
+    }
+}
+
+AtomicOutcome
+evalAtomic(AtomicFunc func, Word old_value, Word operand, Word compare)
+{
+    switch (func) {
+      case AtomicFunc::TestAndSet:
+        // Write the "taken" operand iff the lock reads as `compare`.
+        return {operand, old_value == compare};
+      case AtomicFunc::FetchAndStore:
+        return {operand, true};
+      case AtomicFunc::FetchAndAdd:
+        return {old_value + operand, true};
+      case AtomicFunc::TestAndDec:
+        // Decrement iff positive (signal/wait consume, Fig. 18).
+        return {old_value - 1, old_value > 0};
+      case AtomicFunc::None:
+        break;
+    }
+    panic("evalAtomic: bad function");
+}
+
+} // namespace cbsim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The core <-> L1 memory interface: every operation of the paper's
+ * Table 1 plus ordinary DRF loads and stores.
+ */
+
+#ifndef CBSIM_COHERENCE_MEM_REQUEST_HH
+#define CBSIM_COHERENCE_MEM_REQUEST_HH
+
+#include <functional>
+
+#include "noc/message.hh"
+#include "sim/types.hh"
+
+namespace cbsim {
+
+/**
+ * Memory operation kinds (Table 1 of the paper).
+ *
+ * Load/Store are DRF accesses that go through the L1 and obey the
+ * protocol's data policy (MESI coherence or VIPS self-invalidation).
+ * The *Through/Cb variants are racy synchronization accesses that bypass
+ * the L1 and are serialized at the LLC.
+ */
+enum class MemOp : std::uint8_t
+{
+    Load,        ///< DRF load (cacheable)
+    Store,       ///< DRF store (cacheable)
+    LdThrough,   ///< racy load; non-blocking callback consume (§3.3)
+    LdCb,        ///< racy load; blocks in the callback directory if empty
+    StThrough,   ///< racy write-through; wakes all callbacks (st_cbA)
+    StCb1,       ///< racy write-through; wakes one callback
+    StCb0,       ///< racy write-through; wakes no callback
+    Atomic,      ///< RMW at the LLC: {ld|ld_cb}&{st|st_cb0|st_cb1|st_cbA}
+};
+
+/** True for operations that bypass the L1 (racy accesses). */
+bool bypassesL1(MemOp op);
+
+/** Completion callback: delivers the load/RMW-read value (0 for stores). */
+using MemCompletion = std::function<void(Word)>;
+
+/**
+ * A memory request issued by a core to its L1 controller. The controller
+ * eventually invokes onComplete exactly once; the core blocks until then.
+ */
+struct MemRequest
+{
+    MemOp op = MemOp::Load;
+    Addr addr = 0;
+    Word storeValue = 0;        ///< for Store/StThrough/StCb*
+
+    // Atomic payload.
+    AtomicFunc func = AtomicFunc::None;
+    Word operand = 0;           ///< swap/add/set value
+    Word compare = 0;           ///< T&S "not taken" value
+    WakePolicy wake = WakePolicy::None; ///< store-half callback policy
+    bool loadIsCallback = false;        ///< the RMW read half is ld_cb
+
+    /** Marked by sync builders; LLC attributes accesses to sync. */
+    bool sync = false;
+
+    /**
+     * The instruction is a spin-loop load (ins.spin): back-off applies
+     * at the core, and the MESI L1 may park repeated identical reads
+     * until the line is invalidated (see MesiL1 spin watch).
+     */
+    bool spinHint = false;
+
+    MemCompletion onComplete;
+};
+
+/**
+ * Evaluate an atomic function against @p old_value.
+ *
+ * @return {newValue, doWrite}: the value to store and whether the RMW
+ *         writes at all (T&S fails when old != compare; T&D fails on 0).
+ */
+struct AtomicOutcome
+{
+    Word newValue;
+    bool doWrite;
+};
+
+AtomicOutcome evalAtomic(AtomicFunc func, Word old_value, Word operand,
+                         Word compare);
+
+} // namespace cbsim
+
+#endif // CBSIM_COHERENCE_MEM_REQUEST_HH

@@ -1,0 +1,297 @@
+#include "coherence/vips/vips_llc.hh"
+
+#include "mem/addr.hh"
+#include "sim/log.hh"
+#include "sim/trace.hh"
+
+namespace cbsim {
+
+VipsLlcBank::VipsLlcBank(BankId bank, EventQueue& eq, Mesh& mesh,
+                         DataStore& data, MemoryModel& memory,
+                         const CacheGeometry& geom, const LlcTiming& timing,
+                         unsigned cb_entries, Tick cb_latency,
+                         unsigned num_cores)
+    : bank_(bank), eq_(eq), mesh_(mesh), data_(data), memory_(memory),
+      array_(geom), timing_(timing), cbLatency_(cb_latency), pipe_(eq),
+      cbPipe_(eq), cbdir_(cb_entries, num_cores)
+{
+}
+
+void
+VipsLlcBank::handleMessage(const Message& msg)
+{
+    dispatch(msg);
+}
+
+void
+VipsLlcBank::dispatch(const Message& msg)
+{
+    const Addr line_addr = AddrLayout::lineAlign(msg.addr);
+    CBSIM_TRACE(TraceCategory::Llc, eq_.now(), line_addr,
+                "bank " << bank_ << " dispatch " << msg.toString());
+    if (locks_.isLocked(line_addr)) {
+        locks_.defer(line_addr, [this, msg] { dispatch(msg); });
+        return;
+    }
+    if (!ensurePresent(msg))
+        return;
+
+    switch (msg.type) {
+      case MsgType::GetS:
+        handleGetS(msg);
+        break;
+      case MsgType::WtFlush:
+        handleWtFlush(msg);
+        break;
+      case MsgType::LdThrough:
+        handleLdThrough(msg);
+        break;
+      case MsgType::GetCB:
+        handleGetCB(msg);
+        break;
+      case MsgType::StThrough:
+        handleStore(msg, WakePolicy::All);
+        break;
+      case MsgType::StCb1:
+        handleStore(msg, WakePolicy::One);
+        break;
+      case MsgType::StCb0:
+        handleStore(msg, WakePolicy::Zero);
+        break;
+      case MsgType::AtomicReq:
+        handleAtomic(msg);
+        break;
+      default:
+        panic("VipsLlcBank: unexpected message ", msg.toString());
+    }
+}
+
+bool
+VipsLlcBank::ensurePresent(const Message& msg)
+{
+    const Addr line_addr = AddrLayout::lineAlign(msg.addr);
+    if (auto* line = array_.find(line_addr)) {
+        array_.touch(*line);
+        return true;
+    }
+    locks_.lock(line_addr);
+    fills_.inc();
+    memory_.read(line_addr,
+                 [this, msg, line_addr] { fillLine(msg, line_addr); });
+    return false;
+}
+
+void
+VipsLlcBank::fillLine(const Message& msg, Addr line_addr)
+{
+    auto* victim = array_.victimIf(
+        line_addr, [this](const Line& l) { return !locks_.isLocked(l.tag); });
+    if (!victim) {
+        eq_.schedule(4, [this, msg, line_addr] { fillLine(msg, line_addr); });
+        return;
+    }
+    if (victim->valid)
+        memory_.write(victim->tag); // writeback (write-through LLC: clean)
+    array_.install(*victim, line_addr);
+    accesses_.inc();
+    auto deferred = locks_.unlock(line_addr);
+    dispatch(msg);
+    for (auto& op : deferred)
+        eq_.schedule(0, std::move(op));
+}
+
+void
+VipsLlcBank::chargeAccess(const Message& msg)
+{
+    accesses_.inc();
+    if (msg.sync)
+        syncAccesses_.inc();
+}
+
+void
+VipsLlcBank::sendToCore(MsgType type, const Message& req, Word value,
+                        Tick latency)
+{
+    Message rsp;
+    rsp.type = type;
+    rsp.src = bank_;
+    rsp.dst = req.src;
+    rsp.dstPort = Port::Core;
+    rsp.requester = req.requester;
+    rsp.addr = req.addr;
+    rsp.value = value;
+    rsp.txn = req.txn;
+    pipe_.access(latency, [this, rsp] { mesh_.send(rsp); });
+}
+
+void
+VipsLlcBank::handleGetS(const Message& msg)
+{
+    chargeAccess(msg);
+    sendToCore(MsgType::Data, msg, 0, timing_.dataLatency);
+}
+
+void
+VipsLlcBank::handleWtFlush(const Message& msg)
+{
+    // Values were committed functionally at L1 store time; the flush is a
+    // timing/traffic event that makes them visible at the LLC.
+    chargeAccess(msg);
+    sendToCore(MsgType::Ack, msg, 0, timing_.dataLatency);
+}
+
+void
+VipsLlcBank::handleLdThrough(const Message& msg)
+{
+    // The callback directory is consulted in parallel with the LLC
+    // access (Fig. 2): consume the F/E state but never block.
+    cbdirAccesses_.inc();
+    cbdir_.ldThrough(msg.addr, msg.requester);
+    chargeAccess(msg);
+    sendToCore(MsgType::DataWord, msg, data_.read(msg.addr),
+               timing_.dataLatency);
+}
+
+void
+VipsLlcBank::handleGetCB(const Message& msg)
+{
+    // GetCB consults the callback directory *before* the LLC (Fig. 2).
+    cbdirAccesses_.inc();
+    CbReadResult res = cbdir_.ldCb(msg.addr, msg.requester);
+    handleEviction(res);
+    if (res.blocked) {
+        waiters_[AddrLayout::wordAlign(msg.addr)]
+                [msg.requester] = msg;
+        return; // no LLC access, no response until a write wakes us
+    }
+    chargeAccess(msg);
+    sendToCore(MsgType::DataWord, msg, data_.read(msg.addr),
+               cbLatency_ + timing_.dataLatency);
+}
+
+void
+VipsLlcBank::handleStore(const Message& msg, WakePolicy policy)
+{
+    data_.write(msg.addr, msg.value);
+    chargeAccess(msg);
+    cbdirAccesses_.inc();
+    CbWriteResult wr = cbdir_.store(msg.addr, msg.requester, policy);
+    sendToCore(MsgType::Ack, msg, 0, timing_.dataLatency);
+    processWakes(AddrLayout::wordAlign(msg.addr), wr.wake,
+                 /*evicted=*/false);
+}
+
+void
+VipsLlcBank::handleAtomic(const Message& msg)
+{
+    cbdirAccesses_.inc();
+    if (msg.loadIsCallback) {
+        CbReadResult res = cbdir_.ldCb(msg.addr, msg.requester);
+        handleEviction(res);
+        if (res.blocked) {
+            waiters_[AddrLayout::wordAlign(msg.addr)]
+                    [msg.requester] = msg;
+            return; // the whole RMW is held off in the callback directory
+        }
+    } else {
+        // The read half behaves as a load-through for the F/E state.
+        cbdir_.ldThrough(msg.addr, msg.requester);
+    }
+    std::vector<CoreId> wake_queue;
+    executeRmw(msg, wake_queue);
+    processWakes(AddrLayout::wordAlign(msg.addr), wake_queue,
+                 /*evicted=*/false);
+}
+
+void
+VipsLlcBank::executeRmw(const Message& req, std::vector<CoreId>& wake_queue)
+{
+    const Word old = data_.read(req.addr);
+    const auto out =
+        evalAtomic(req.atomicFunc, old, req.atomicOperand,
+                   req.atomicCompare);
+    chargeAccess(req);
+    if (out.doWrite) {
+        data_.write(req.addr, out.newValue);
+        const WakePolicy policy = req.wakePolicy == WakePolicy::None
+                                      ? WakePolicy::All
+                                      : req.wakePolicy;
+        CbWriteResult wr = cbdir_.store(req.addr, req.requester, policy);
+        for (CoreId c : wr.wake)
+            wake_queue.push_back(c);
+    }
+    sendToCore(MsgType::DataWord, req, old,
+               cbLatency_ + timing_.dataLatency);
+}
+
+void
+VipsLlcBank::processWakes(Addr word, const std::vector<CoreId>& initial,
+                          bool evicted)
+{
+    std::vector<CoreId> queue = initial;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+        const CoreId c = queue[head++];
+        auto word_it = waiters_.find(word);
+        CBSIM_ASSERT(word_it != waiters_.end(),
+                     "wake with no parked waiters");
+        auto it = word_it->second.find(c);
+        CBSIM_ASSERT(it != word_it->second.end(),
+                     "wake for a core that is not parked");
+        const Message req = it->second;
+        word_it->second.erase(it);
+        if (word_it->second.empty())
+            waiters_.erase(word_it);
+
+        wakesSent_.inc();
+        CBSIM_TRACE(TraceCategory::CbDir, eq_.now(), word,
+                    "bank " << bank_ << " wake core " << c << " word=0x"
+                            << std::hex << word << std::dec
+                            << (evicted ? " (eviction)" : ""));
+        if (req.type == MsgType::GetCB) {
+            // The wake-up message carries the (new or, on eviction,
+            // current) value straight to the core: {callback, write,
+            // data} — three messages total.
+            sendToCore(MsgType::WakeUp, req, data_.read(word),
+                       timing_.dataLatency);
+        } else {
+            CBSIM_ASSERT(req.type == MsgType::AtomicReq, "bad waiter");
+            // Woken RMW: re-executes atomically against the current
+            // value. A premature wake (Fig. 5) simply fails its test and
+            // the core retries.
+            executeRmw(req, queue);
+        }
+    }
+}
+
+void
+VipsLlcBank::handleEviction(const CbReadResult& res)
+{
+    if (!res.evictionHappened || res.evictedWaiters.empty())
+        return;
+    // Replacement loses the bits; all parked waiters are satisfied with
+    // the current value (Fig. 3 step 5).
+    processWakes(res.evictedWord, res.evictedWaiters, /*evicted=*/true);
+}
+
+std::size_t
+VipsLlcBank::parkedWaiters() const
+{
+    std::size_t n = 0;
+    for (const auto& [word, m] : waiters_)
+        n += m.size();
+    return n;
+}
+
+void
+VipsLlcBank::registerStats(StatSet& stats, const std::string& prefix)
+{
+    stats.add(prefix + ".accesses", accesses_);
+    stats.add(prefix + ".sync_accesses", syncAccesses_);
+    stats.add(prefix + ".cbdir_accesses", cbdirAccesses_);
+    stats.add(prefix + ".fills", fills_);
+    stats.add(prefix + ".wakes_sent", wakesSent_);
+    cbdir_.registerStats(stats, prefix + ".cbdir");
+}
+
+} // namespace cbsim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * In-order, blocking core model.
+ *
+ * One instruction per cycle for ALU/control; memory operations block the
+ * core until the L1 controller completes them (the paper's sync ops are
+ * blocking by construction, §3.2). Consecutive re-issues of a spin-marked
+ * racy load are throttled by the configured exponential back-off policy.
+ */
+
+#ifndef CBSIM_CORE_CORE_HH
+#define CBSIM_CORE_CORE_HH
+
+#include <array>
+#include <functional>
+
+#include "coherence/backoff/backoff.hh"
+#include "coherence/controller.hh"
+#include "isa/assembler.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+namespace cbsim {
+
+/** Chip-wide synchronization instrumentation shared by all cores. */
+struct SyncStats
+{
+    static constexpr std::size_t numKinds =
+        static_cast<std::size_t>(SyncKind::NumKinds);
+
+    std::array<Histogram, numKinds> latency;
+    std::array<Counter, numKinds> completions;
+
+    void registerStats(StatSet& stats);
+};
+
+/** A single in-order core executing a mini-ISA program. */
+class Core
+{
+  public:
+    /**
+     * @param id       this core's id (also readable by programs via reg
+     *                 initialization in the program generator)
+     * @param on_done  invoked once when the program executes Done
+     */
+    Core(CoreId id, EventQueue& eq, L1Controller& l1,
+         const BackoffConfig& backoff, SyncStats& sync_stats,
+         std::function<void()> on_done);
+
+    /** Load the thread's program; must precede start(). */
+    void setProgram(Program program);
+
+    /** Schedule the first instruction at the current tick. */
+    void start();
+
+    CoreId id() const { return id_; }
+    bool finished() const { return finished_; }
+    Tick doneTick() const { return doneTick_; }
+
+    /** Architectural register read (for tests). */
+    Word reg(Reg r) const { return regs_[r]; }
+
+    void registerStats(StatSet& stats, const std::string& prefix);
+
+  private:
+    void step();
+    void issueMemory(const Instruction& ins, Tick delay);
+    void completeMemory(const Instruction& ins, Word value);
+    void handleRecord(const Instruction& ins, Tick when);
+
+    CoreId id_;
+    EventQueue& eq_;
+    L1Controller& l1_;
+    BackoffPolicy backoff_;
+    SyncStats& syncStats_;
+    std::function<void()> onDone_;
+
+    Program program_;
+    std::array<Word, numRegs> regs_{};
+    std::uint64_t pc_ = 0;
+    bool finished_ = false;
+    Tick doneTick_ = 0;
+
+    /** Open Record regions: start tick per SyncKind. */
+    std::array<Tick, SyncStats::numKinds> recordStart_{};
+
+    Counter instructions_;
+    Counter memOps_;
+    Counter spinRetries_;
+    Counter backoffCycles_;
+
+    /** All cycles stalled on memory operations. */
+    Counter stallCycles_;
+    /**
+     * Stall cycles on blocking callback reads (ld_cb and callback
+     * RMWs) — the time a core could spend in a power-saving pause
+     * state instead of waiting (paper §2.1; quantified by
+     * bench_ablation_pause).
+     */
+    Counter cbBlockedCycles_;
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_CORE_CORE_HH

@@ -1,0 +1,35 @@
+#include "energy/energy_model.hh"
+
+#include <sstream>
+
+namespace cbsim {
+
+std::string
+EnergyBreakdown::summary() const
+{
+    std::ostringstream os;
+    os << "l1=" << l1 << "nJ llc=" << llc << "nJ net=" << network
+       << "nJ cbdir=" << cbdir << "nJ mem=" << memory << "nJ";
+    return os.str();
+}
+
+double
+pauseSavings(const RunResult& r, const EnergyParams& params)
+{
+    return (params.coreActive - params.corePaused) *
+           static_cast<double>(r.cbBlockedCycles);
+}
+
+EnergyBreakdown
+computeEnergy(const RunResult& r, const EnergyParams& params)
+{
+    EnergyBreakdown e;
+    e.l1 = params.l1Access * static_cast<double>(r.l1Accesses);
+    e.llc = params.llcAccess * static_cast<double>(r.llcAccesses);
+    e.network = params.flitHop * static_cast<double>(r.flitHops);
+    e.cbdir = params.cbDirAccess * static_cast<double>(r.cbdirAccesses);
+    e.memory = params.memAccess * static_cast<double>(r.memReads);
+    return e;
+}
+
+} // namespace cbsim

@@ -1,0 +1,86 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+namespace cbsim {
+
+const char*
+syncKindName(SyncKind k)
+{
+    switch (k) {
+      case SyncKind::None: return "none";
+      case SyncKind::Acquire: return "acquire";
+      case SyncKind::Release: return "release";
+      case SyncKind::Barrier: return "barrier";
+      case SyncKind::Wait: return "wait";
+      case SyncKind::Signal: return "signal";
+      default: return "?";
+    }
+}
+
+bool
+isMemory(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::LdThrough:
+      case Opcode::LdCb:
+      case Opcode::StThrough:
+      case Opcode::StCb1:
+      case Opcode::StCb0:
+      case Opcode::Atomic:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace {
+
+const char*
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::MovImm: return "movi";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::AddImm: return "addi";
+      case Opcode::Sub: return "sub";
+      case Opcode::Not: return "not";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Beqz: return "beqz";
+      case Opcode::Bnez: return "bnez";
+      case Opcode::Jump: return "j";
+      case Opcode::Work: return "work";
+      case Opcode::Record: return "record";
+      case Opcode::Done: return "done";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::LdThrough: return "ld_through";
+      case Opcode::LdCb: return "ld_cb";
+      case Opcode::StThrough: return "st_through";
+      case Opcode::StCb1: return "st_cb1";
+      case Opcode::StCb0: return "st_cb0";
+      case Opcode::Atomic: return "atomic";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op) << " rd=r" << unsigned(rd) << " rs1=r"
+       << unsigned(rs1) << " rs2=r" << unsigned(rs2) << " imm=" << imm;
+    if (isMemory(op))
+        os << " [r" << unsigned(addrReg) << (offset >= 0 ? "+" : "")
+           << offset << "]";
+    return os.str();
+}
+
+} // namespace cbsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Address arithmetic: line/word/page extraction and LLC bank interleaving.
+ *
+ * The simulated address space is word-granular (8-byte words) with
+ * 64-byte lines and 4 KB pages (paper Table 2). LLC banks are interleaved
+ * on line addresses.
+ */
+
+#ifndef CBSIM_MEM_ADDR_HH
+#define CBSIM_MEM_ADDR_HH
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace cbsim {
+
+/** Geometry constants (Table 2). */
+struct AddrLayout
+{
+    static constexpr unsigned wordBytes = 8;
+    static constexpr unsigned lineBytes = 64;
+    static constexpr unsigned pageBytes = 4096;
+    static constexpr unsigned wordsPerLine = lineBytes / wordBytes;
+
+    static Addr wordAlign(Addr a) { return a & ~Addr(wordBytes - 1); }
+    static Addr lineAlign(Addr a) { return a & ~Addr(lineBytes - 1); }
+    static Addr pageAlign(Addr a) { return a & ~Addr(pageBytes - 1); }
+
+    static Addr lineNumber(Addr a) { return a / lineBytes; }
+    static Addr pageNumber(Addr a) { return a / pageBytes; }
+
+    /** Word index within its line, 0..7. */
+    static unsigned
+    wordInLine(Addr a)
+    {
+        return static_cast<unsigned>((a / wordBytes) % wordsPerLine);
+    }
+
+    /** Line-interleaved home bank for @p a among @p num_banks banks. */
+    static BankId
+    bankOf(Addr a, unsigned num_banks)
+    {
+        CBSIM_ASSERT(num_banks > 0, "bankOf: zero banks");
+        return static_cast<BankId>(lineNumber(a) % num_banks);
+    }
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_MEM_ADDR_HH

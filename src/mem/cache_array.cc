@@ -1,0 +1,3 @@
+// CacheArray is a header-only template; this file anchors the module in
+// the build graph.
+#include "mem/cache_array.hh"

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Generic set-associative tag/state array with true-LRU replacement.
+ *
+ * Protocol controllers store their per-line state in the templated entry
+ * type. The array is purely structural: it knows nothing about coherence.
+ */
+
+#ifndef CBSIM_MEM_CACHE_ARRAY_HH
+#define CBSIM_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace cbsim {
+
+/** Geometry of a cache structure. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned ways = 4;
+    unsigned lineBytes = AddrLayout::lineBytes;
+
+    /**
+     * Divisor applied to the line number before set selection. A bank
+     * of an N-way interleaved LLC only ever sees line numbers congruent
+     * to its bank id mod N; dividing by N first makes all sets usable.
+     * Private caches keep the default of 1.
+     */
+    unsigned indexDivisor = 1;
+
+    std::uint64_t
+    numSets() const
+    {
+        CBSIM_ASSERT(ways > 0 && lineBytes > 0, "bad geometry");
+        const std::uint64_t lines = sizeBytes / lineBytes;
+        CBSIM_ASSERT(lines % ways == 0, "size not divisible by ways");
+        return lines / ways;
+    }
+};
+
+/**
+ * Set-associative array of StateT entries, indexed by line address.
+ *
+ * @tparam StateT per-line protocol state; must be default-constructible.
+ */
+template <typename StateT>
+class CacheArray
+{
+  public:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;          ///< full line address (simple, unambiguous)
+        std::uint64_t lru = 0; ///< last-touch stamp
+        StateT state{};
+    };
+
+    explicit CacheArray(const CacheGeometry& geom)
+        : geom_(geom), sets_(geom.numSets()),
+          lines_(geom.numSets() * geom.ways)
+    {
+    }
+
+    std::uint64_t numSets() const { return sets_; }
+    unsigned ways() const { return geom_.ways; }
+
+    /** Look up @p addr; returns the line or nullptr. Does not touch LRU. */
+    Line*
+    find(Addr addr)
+    {
+        const Addr line_addr = AddrLayout::lineAlign(addr);
+        auto [base, end] = setRange(line_addr);
+        for (auto i = base; i < end; ++i) {
+            if (lines_[i].valid && lines_[i].tag == line_addr)
+                return &lines_[i];
+        }
+        return nullptr;
+    }
+
+    const Line*
+    find(Addr addr) const
+    {
+        return const_cast<CacheArray*>(this)->find(addr);
+    }
+
+    /** Mark @p line most recently used. */
+    void touch(Line& line) { line.lru = ++stamp_; }
+
+    /**
+     * Pick the victim way in @p addr's set: an invalid way if any,
+     * otherwise the true-LRU valid way. Never returns nullptr.
+     */
+    Line*
+    victim(Addr addr)
+    {
+        const Addr line_addr = AddrLayout::lineAlign(addr);
+        auto [base, end] = setRange(line_addr);
+        Line* lru_line = nullptr;
+        for (auto i = base; i < end; ++i) {
+            if (!lines_[i].valid)
+                return &lines_[i];
+            if (!lru_line || lines_[i].lru < lru_line->lru)
+                lru_line = &lines_[i];
+        }
+        return lru_line;
+    }
+
+    /**
+     * Like victim(), but only lines for which @p usable returns true may
+     * be displaced (invalid ways always qualify). Returns nullptr when
+     * every way in the set is pinned — callers retry later.
+     */
+    template <typename Pred>
+    Line*
+    victimIf(Addr addr, Pred usable)
+    {
+        const Addr line_addr = AddrLayout::lineAlign(addr);
+        auto [base, end] = setRange(line_addr);
+        Line* lru_line = nullptr;
+        for (auto i = base; i < end; ++i) {
+            if (!lines_[i].valid)
+                return &lines_[i];
+            if (!usable(lines_[i]))
+                continue;
+            if (!lru_line || lines_[i].lru < lru_line->lru)
+                lru_line = &lines_[i];
+        }
+        return lru_line;
+    }
+
+    /**
+     * Install @p addr into @p line (which must belong to addr's set),
+     * resetting its state and touching LRU.
+     */
+    void
+    install(Line& line, Addr addr)
+    {
+        line.valid = true;
+        line.tag = AddrLayout::lineAlign(addr);
+        line.state = StateT{};
+        touch(line);
+    }
+
+    void
+    invalidate(Line& line)
+    {
+        line.valid = false;
+        line.state = StateT{};
+    }
+
+    /** Apply @p fn to every valid line (e.g., self-invalidation sweeps). */
+    template <typename Fn>
+    void
+    forEachValid(Fn&& fn)
+    {
+        for (auto& line : lines_) {
+            if (line.valid)
+                fn(line);
+        }
+    }
+
+    /** Count of valid lines (for tests). */
+    std::size_t
+    validCount() const
+    {
+        std::size_t n = 0;
+        for (const auto& line : lines_)
+            n += line.valid ? 1 : 0;
+        return n;
+    }
+
+  private:
+    std::pair<std::size_t, std::size_t>
+    setRange(Addr line_addr) const
+    {
+        const std::uint64_t set =
+            (AddrLayout::lineNumber(line_addr) / geom_.indexDivisor) %
+            sets_;
+        return {set * geom_.ways, (set + 1) * geom_.ways};
+    }
+
+    CacheGeometry geom_;
+    std::uint64_t sets_;
+    std::vector<Line> lines_;
+    std::uint64_t stamp_ = 0;
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_MEM_CACHE_ARRAY_HH

@@ -1,0 +1,18 @@
+#include "mem/data_store.hh"
+
+namespace cbsim {
+
+Word
+DataStore::read(Addr addr) const
+{
+    auto it = words_.find(AddrLayout::wordAlign(addr));
+    return it == words_.end() ? 0 : it->second;
+}
+
+void
+DataStore::write(Addr addr, Word value)
+{
+    words_[AddrLayout::wordAlign(addr)] = value;
+}
+
+} // namespace cbsim

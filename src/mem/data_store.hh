@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Functional backing store for the simulated address space.
+ *
+ * The simulator separates timing (caches, protocols, network) from
+ * function (values). All programs in this study are data-race-free except
+ * for synchronization accesses that are serialized at the LLC, so a single
+ * word-granular store that commits values in LLC/ownership order is
+ * functionally exact (see DESIGN.md §3).
+ */
+
+#ifndef CBSIM_MEM_DATA_STORE_HH
+#define CBSIM_MEM_DATA_STORE_HH
+
+#include <unordered_map>
+
+#include "mem/addr.hh"
+#include "sim/types.hh"
+
+namespace cbsim {
+
+/** Sparse word-granular value store; unwritten words read as zero. */
+class DataStore
+{
+  public:
+    /** Read the word containing @p addr. */
+    Word read(Addr addr) const;
+
+    /** Write the word containing @p addr. */
+    void write(Addr addr, Word value);
+
+    /** Number of distinct words ever written (for tests). */
+    std::size_t footprintWords() const { return words_.size(); }
+
+  private:
+    std::unordered_map<Addr, Word> words_;
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_MEM_DATA_STORE_HH

@@ -1,0 +1,27 @@
+#include "mem/memory_model.hh"
+
+namespace cbsim {
+
+MemoryModel::MemoryModel(EventQueue& eq, Tick latency, StatSet& stats)
+    : eq_(eq), latency_(latency)
+{
+    stats.add("mem.reads", reads_);
+    stats.add("mem.writes", writes_);
+}
+
+void
+MemoryModel::read(Addr addr, std::function<void()> done)
+{
+    (void)addr;
+    reads_.inc();
+    eq_.schedule(latency_, std::move(done));
+}
+
+void
+MemoryModel::write(Addr addr)
+{
+    (void)addr;
+    writes_.inc();
+}
+
+} // namespace cbsim

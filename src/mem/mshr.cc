@@ -1,0 +1,38 @@
+#include "mem/mshr.hh"
+
+namespace cbsim {
+
+bool
+LineLockTable::isLocked(Addr addr) const
+{
+    return locks_.count(AddrLayout::lineAlign(addr)) != 0;
+}
+
+void
+LineLockTable::lock(Addr addr)
+{
+    const Addr line = AddrLayout::lineAlign(addr);
+    auto [it, inserted] = locks_.emplace(line, Entry{});
+    (void)it;
+    CBSIM_ASSERT(inserted, "locking an already-locked line");
+}
+
+void
+LineLockTable::defer(Addr addr, DeferredOp op)
+{
+    auto it = locks_.find(AddrLayout::lineAlign(addr));
+    CBSIM_ASSERT(it != locks_.end(), "defer on unlocked line");
+    it->second.deferred.push_back(std::move(op));
+}
+
+std::deque<DeferredOp>
+LineLockTable::unlock(Addr addr)
+{
+    auto it = locks_.find(AddrLayout::lineAlign(addr));
+    CBSIM_ASSERT(it != locks_.end(), "unlock on unlocked line");
+    auto ops = std::move(it->second.deferred);
+    locks_.erase(it);
+    return ops;
+}
+
+} // namespace cbsim

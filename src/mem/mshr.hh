@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Line-lock / MSHR table used by LLC banks and directories.
+ *
+ * Two protocol needs map onto the same structure:
+ *  - RMW atomicity at the LLC (paper §2.6): while an atomic transaction
+ *    holds the line's MSHR lock, every other operation on that line is
+ *    queued in the LLC controller and replayed on unlock.
+ *  - Blocking directory (MESI): while a line's transaction is in flight
+ *    (e.g., invalidations outstanding), later requests queue.
+ */
+
+#ifndef CBSIM_MEM_MSHR_HH
+#define CBSIM_MEM_MSHR_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "mem/addr.hh"
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace cbsim {
+
+/** Deferred operation replayed when a line unlocks. */
+using DeferredOp = std::function<void()>;
+
+/** Per-line lock table with FIFO replay of deferred operations. */
+class LineLockTable
+{
+  public:
+    /** True if @p addr's line is currently locked. */
+    bool isLocked(Addr addr) const;
+
+    /**
+     * Lock @p addr's line.
+     * @pre the line is not already locked.
+     */
+    void lock(Addr addr);
+
+    /**
+     * Queue @p op to be replayed when @p addr's line unlocks.
+     * @pre the line is locked.
+     */
+    void defer(Addr addr, DeferredOp op);
+
+    /**
+     * Unlock @p addr's line and collect its deferred operations in FIFO
+     * order. The caller replays them (typically by re-dispatching each
+     * original message), which lets a replayed op re-lock the line.
+     */
+    std::deque<DeferredOp> unlock(Addr addr);
+
+    /** Number of currently locked lines (for tests). */
+    std::size_t lockedLines() const { return locks_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::deque<DeferredOp> deferred;
+    };
+
+    std::unordered_map<Addr, Entry> locks_; ///< keyed by line address
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_MEM_MSHR_HH

@@ -1,0 +1,126 @@
+#include "noc/mesh.hh"
+
+#include <string>
+
+#include "sim/log.hh"
+#include "sim/trace.hh"
+
+namespace cbsim {
+
+Mesh::Mesh(EventQueue& eq, const NocConfig& cfg, StatSet& stats)
+    : eq_(eq), cfg_(cfg), routers_(cfg.nodes()),
+      coreHandlers_(cfg.nodes()), bankHandlers_(cfg.nodes())
+{
+    if (cfg_.width == 0 || cfg_.height == 0)
+        fatal("mesh dimensions must be non-zero");
+    stats.add("noc.packets", packets_);
+    stats.add("noc.flit_hops", flitHops_);
+    stats.add("noc.local_deliveries", localDeliveries_);
+    for (std::size_t t = 0; t < packetsByType_.size(); ++t) {
+        stats.add(std::string("noc.packets.") +
+                      msgTypeName(static_cast<MsgType>(t)),
+                  packetsByType_[t]);
+    }
+}
+
+void
+Mesh::attach(NodeId node, Port port, MessageHandler handler)
+{
+    CBSIM_ASSERT(node < cfg_.nodes(), "attach: node out of range");
+    auto& slot = port == Port::Core ? coreHandlers_[node]
+                                    : bankHandlers_[node];
+    slot = std::move(handler);
+}
+
+unsigned
+Mesh::hopCount(NodeId from, NodeId to) const
+{
+    const int dx = static_cast<int>(xOf(to)) - static_cast<int>(xOf(from));
+    const int dy = static_cast<int>(yOf(to)) - static_cast<int>(yOf(from));
+    return static_cast<unsigned>((dx < 0 ? -dx : dx) +
+                                 (dy < 0 ? -dy : dy));
+}
+
+Tick
+Mesh::minLatency(const Message& msg) const
+{
+    if (msg.src == msg.dst)
+        return cfg_.localLatency;
+    const unsigned hops = hopCount(msg.src, msg.dst);
+    const unsigned flits =
+        msg.flits(cfg_.flitBytes, cfg_.headerBytes, cfg_.lineBytes);
+    return hops * cfg_.switchLatency + (flits - 1);
+}
+
+std::pair<NodeId, Direction>
+Mesh::nextHop(NodeId at, NodeId dst) const
+{
+    const unsigned ax = xOf(at), ay = yOf(at);
+    const unsigned dx = xOf(dst), dy = yOf(dst);
+    // Deterministic X-Y: fully resolve X, then Y.
+    if (dx > ax)
+        return {nodeAt(ax + 1, ay), Direction::East};
+    if (dx < ax)
+        return {nodeAt(ax - 1, ay), Direction::West};
+    if (dy > ay)
+        return {nodeAt(ax, ay + 1), Direction::South};
+    CBSIM_ASSERT(dy < ay, "nextHop called at destination");
+    return {nodeAt(ax, ay - 1), Direction::North};
+}
+
+void
+Mesh::send(Message msg)
+{
+    CBSIM_ASSERT(msg.src < cfg_.nodes() && msg.dst < cfg_.nodes(),
+                 "send: node out of range");
+    packets_.inc();
+    packetsByType_[static_cast<std::size_t>(msg.type)].inc();
+    CBSIM_TRACE(TraceCategory::Noc, eq_.now(), msg.addr,
+                "inject " << msg.toString());
+
+    if (msg.src == msg.dst) {
+        // Same-node core<->bank traffic never enters the network.
+        localDeliveries_.inc();
+        eq_.schedule(cfg_.localLatency, [this, msg] { deliver(msg); });
+        return;
+    }
+    const unsigned flits =
+        msg.flits(cfg_.flitBytes, cfg_.headerBytes, cfg_.lineBytes);
+    const NodeId src = msg.src;
+    hop(std::move(msg), src, flits);
+}
+
+void
+Mesh::hop(Message msg, NodeId at, unsigned flits)
+{
+    auto [next, dir] = nextHop(at, msg.dst);
+    const Tick start = routers_[at].reserve(dir, eq_.now(), flits);
+    flitHops_.inc(flits);
+    const Tick wait = start - eq_.now();
+
+    if (next == msg.dst) {
+        // Final hop: account tail serialization on delivery.
+        eq_.schedule(wait + cfg_.switchLatency + (flits - 1),
+                     [this, msg] { deliver(msg); });
+    } else {
+        eq_.schedule(wait + cfg_.switchLatency,
+                     [this, msg = std::move(msg), next, flits]() mutable {
+                         hop(std::move(msg), next, flits);
+                     });
+    }
+}
+
+void
+Mesh::deliver(const Message& msg)
+{
+    const auto& handler = msg.dstPort == Port::Core
+                              ? coreHandlers_[msg.dst]
+                              : bankHandlers_[msg.dst];
+    if (!handler) {
+        panic("message delivered to unattached endpoint: ",
+              msg.toString());
+    }
+    handler(msg);
+}
+
+} // namespace cbsim

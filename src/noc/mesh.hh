@@ -1,0 +1,97 @@
+/**
+ * @file
+ * 2-D mesh interconnect with deterministic X-Y routing (GARNET-inspired).
+ *
+ * Nodes are numbered row-major: node = y * width + x. Each node hosts a
+ * core endpoint and an LLC-bank endpoint; delivery dispatches on
+ * Message::dstPort. Traffic is accounted in flit-hops (the metric behind
+ * the paper's "network traffic" figures) and per-message-type packets.
+ */
+
+#ifndef CBSIM_NOC_MESH_HH
+#define CBSIM_NOC_MESH_HH
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "noc/message.hh"
+#include "noc/router.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+namespace cbsim {
+
+/** Static mesh parameters (paper Table 2 defaults). */
+struct NocConfig
+{
+    unsigned width = 8;           ///< mesh columns
+    unsigned height = 8;          ///< mesh rows
+    unsigned flitBytes = 16;      ///< flit size
+    unsigned headerBytes = 8;     ///< control/header size
+    unsigned lineBytes = 64;      ///< cache-line payload size
+    Tick switchLatency = 6;       ///< switch-to-switch time (cycles)
+    Tick localLatency = 1;        ///< same-node core<->bank delivery
+
+    unsigned nodes() const { return width * height; }
+};
+
+/** Receives messages delivered to an endpoint. */
+using MessageHandler = std::function<void(const Message&)>;
+
+/** The mesh network. */
+class Mesh
+{
+  public:
+    Mesh(EventQueue& eq, const NocConfig& cfg, StatSet& stats);
+
+    /** Attach the handler for @p port of node @p node. */
+    void attach(NodeId node, Port port, MessageHandler handler);
+
+    /**
+     * Inject @p msg at its source node; it is delivered to the handler of
+     * (msg.dst, msg.dstPort) after routing latency + contention.
+     */
+    void send(Message msg);
+
+    /** X-Y route hop count between two nodes (for tests/analysis). */
+    unsigned hopCount(NodeId from, NodeId to) const;
+
+    /** Minimum (contention-free) latency for a message. */
+    Tick minLatency(const Message& msg) const;
+
+    const NocConfig& config() const { return cfg_; }
+
+    /** Total flit-hops so far (the traffic metric). */
+    std::uint64_t flitHops() const { return flitHops_.value(); }
+
+  private:
+    unsigned xOf(NodeId n) const { return n % cfg_.width; }
+    unsigned yOf(NodeId n) const { return n / cfg_.width; }
+    NodeId nodeAt(unsigned x, unsigned y) const
+    {
+        return y * cfg_.width + x;
+    }
+
+    /** Next hop (node, output direction) along the X-Y route. */
+    std::pair<NodeId, Direction> nextHop(NodeId at, NodeId dst) const;
+
+    void hop(Message msg, NodeId at, unsigned flits);
+    void deliver(const Message& msg);
+
+    EventQueue& eq_;
+    NocConfig cfg_;
+    std::vector<Router> routers_;
+    std::vector<MessageHandler> coreHandlers_;
+    std::vector<MessageHandler> bankHandlers_;
+
+    Counter packets_;
+    Counter flitHops_;
+    Counter localDeliveries_;
+    std::array<Counter, static_cast<std::size_t>(MsgType::NumTypes)>
+        packetsByType_;
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_NOC_MESH_HH

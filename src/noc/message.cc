@@ -1,0 +1,82 @@
+#include "noc/message.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace cbsim {
+
+const char*
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS: return "GetS";
+      case MsgType::GetX: return "GetX";
+      case MsgType::PutM: return "PutM";
+      case MsgType::Inv: return "Inv";
+      case MsgType::InvAck: return "InvAck";
+      case MsgType::FwdGetS: return "FwdGetS";
+      case MsgType::FwdGetX: return "FwdGetX";
+      case MsgType::LdThrough: return "LdThrough";
+      case MsgType::StThrough: return "StThrough";
+      case MsgType::StCb1: return "StCb1";
+      case MsgType::StCb0: return "StCb0";
+      case MsgType::GetCB: return "GetCB";
+      case MsgType::AtomicReq: return "AtomicReq";
+      case MsgType::WtFlush: return "WtFlush";
+      case MsgType::Data: return "Data";
+      case MsgType::DataWord: return "DataWord";
+      case MsgType::WakeUp: return "WakeUp";
+      case MsgType::Ack: return "Ack";
+      default: return "?";
+    }
+}
+
+bool
+carriesLine(MsgType t)
+{
+    return t == MsgType::PutM || t == MsgType::Data;
+}
+
+unsigned
+Message::flits(unsigned flit_bytes, unsigned header_bytes,
+               unsigned line_bytes) const
+{
+    unsigned payload_bytes = 0;
+    switch (type) {
+      case MsgType::PutM:
+      case MsgType::Data:
+        payload_bytes = line_bytes;
+        break;
+      case MsgType::StThrough:
+      case MsgType::StCb1:
+      case MsgType::StCb0:
+      case MsgType::AtomicReq:
+      case MsgType::DataWord:
+      case MsgType::WakeUp:
+        payload_bytes = sizeof(Word);
+        break;
+      case MsgType::WtFlush:
+        payload_bytes = sizeof(Word) * std::popcount(wordMask);
+        break;
+      default:
+        payload_bytes = 0;
+        break;
+    }
+    const unsigned total = header_bytes + payload_bytes;
+    return (total + flit_bytes - 1) / flit_bytes;
+}
+
+std::string
+Message::toString() const
+{
+    std::ostringstream os;
+    os << msgTypeName(type) << " src=" << src << " dst=" << dst
+       << (dstPort == Port::Core ? ":core" : ":bank") << " addr=0x"
+       << std::hex << addr << std::dec << " val=" << value
+       << " txn=" << txn;
+    return os.str();
+}
+
+} // namespace cbsim

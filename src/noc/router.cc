@@ -1,0 +1,3 @@
+// Router is header-only; this translation unit anchors the vtable-free
+// class for build-system symmetry and future non-inline additions.
+#include "noc/router.hh"

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-node router with output-link reservation.
+ *
+ * Contention model: each output link is a resource that a packet of F
+ * flits occupies for F cycles. A packet arriving while the link is busy
+ * waits until the link frees (FCFS). This captures serialization and
+ * hot-spot queueing without modelling virtual channels.
+ */
+
+#ifndef CBSIM_NOC_ROUTER_HH
+#define CBSIM_NOC_ROUTER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace cbsim {
+
+/** Output directions of a 2-D mesh router. */
+enum class Direction : std::uint8_t
+{
+    East,
+    West,
+    North,
+    South,
+    Local,
+    NumDirections
+};
+
+/** A mesh router: tracks when each output link next becomes free. */
+class Router
+{
+  public:
+    Router() { nextFree_.fill(0); }
+
+    /**
+     * Reserve output @p dir for a packet of @p flits flits arriving at
+     * @p arrival.
+     * @return the cycle at which the packet starts crossing the link.
+     */
+    Tick
+    reserve(Direction dir, Tick arrival, unsigned flits)
+    {
+        auto& free_at = nextFree_[static_cast<std::size_t>(dir)];
+        const Tick start = arrival > free_at ? arrival : free_at;
+        free_at = start + flits;
+        return start;
+    }
+
+    /** When output @p dir next becomes free (for tests). */
+    Tick
+    nextFree(Direction dir) const
+    {
+        return nextFree_[static_cast<std::size_t>(dir)];
+    }
+
+  private:
+    std::array<Tick, static_cast<std::size_t>(Direction::NumDirections)>
+        nextFree_;
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_NOC_ROUTER_HH

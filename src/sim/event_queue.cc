@@ -1,0 +1,35 @@
+#include "sim/event_queue.hh"
+
+namespace cbsim {
+
+bool
+EventQueue::step()
+{
+    if (queue_.empty())
+        return false;
+    // priority_queue::top() is const; the closure must be moved out, so we
+    // copy the header fields and const_cast the payload (safe: we pop right
+    // after and never touch the moved-from object again).
+    const Event& top = queue_.top();
+    now_ = top.when;
+    EventFn fn = std::move(const_cast<Event&>(top).fn);
+    queue_.pop();
+    ++executed_;
+    fn();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick maxTicks)
+{
+    while (!queue_.empty()) {
+        if (queue_.top().when > maxTicks) {
+            fatal("simulation exceeded tick budget ", maxTicks,
+                  " (possible deadlock or livelock); now=", now_);
+        }
+        step();
+    }
+    return now_;
+}
+
+} // namespace cbsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The whole simulator is driven by a single EventQueue. Components
+ * schedule closures at absolute ticks; events scheduled for the same tick
+ * fire in scheduling order (a stable queue), which keeps runs bit-exact
+ * reproducible for a given seed.
+ */
+
+#ifndef CBSIM_SIM_EVENT_QUEUE_HH
+#define CBSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace cbsim {
+
+/** Callback fired when an event reaches the head of the queue. */
+using EventFn = std::function<void()>;
+
+/**
+ * A stable discrete-event queue ordered by (tick, insertion sequence).
+ *
+ * Typical use:
+ * @code
+ *   EventQueue eq;
+ *   eq.schedule(10, [&]{ ... });
+ *   eq.run();
+ * @endcode
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of events executed so far. */
+    std::uint64_t executedEvents() const { return executed_; }
+
+    /** Number of events currently pending. */
+    std::size_t pendingEvents() const { return queue_.size(); }
+
+    /**
+     * Schedule @p fn to fire at absolute tick @p when.
+     * @pre when >= now()
+     */
+    void
+    scheduleAt(Tick when, EventFn fn)
+    {
+        CBSIM_ASSERT(when >= now_, "scheduling into the past");
+        queue_.push(Event{when, nextSeq_++, std::move(fn)});
+    }
+
+    /** Schedule @p fn to fire @p delay ticks from now. */
+    void
+    schedule(Tick delay, EventFn fn)
+    {
+        scheduleAt(now_ + delay, std::move(fn));
+    }
+
+    /**
+     * Run until the queue drains or @p maxTicks elapses.
+     *
+     * @param maxTicks Absolute tick budget; exceeding it is a fatal error
+     *                 (livelock/deadlock detector for tests and benches).
+     * @return The tick at which the queue drained.
+     */
+    Tick run(Tick maxTicks = maxTick);
+
+    /** Execute a single event; returns false if the queue was empty. */
+    bool step();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,15 @@
+#include "sim/log.hh"
+
+#include <cstdio>
+
+namespace cbsim {
+namespace detail {
+
+void
+logMessage(const char* level, const std::string& msg)
+{
+    std::fprintf(stderr, "cbsim: %s: %s\n", level, msg.c_str());
+}
+
+} // namespace detail
+} // namespace cbsim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() flags a simulator bug (aborts); fatal() flags a user/config
+ * error (throws, so tests can assert on it); warn()/inform() print status.
+ */
+
+#ifndef CBSIM_SIM_LOG_HH
+#define CBSIM_SIM_LOG_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cbsim {
+
+/** Exception thrown by fatal(): a user-correctable configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Exception thrown by panic(): an internal simulator invariant violation. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+void logMessage(const char* level, const std::string& msg);
+
+template <typename... Args>
+std::string
+format(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal simulator bug and abort the simulation. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    auto msg = detail::format(std::forward<Args>(args)...);
+    detail::logMessage("panic", msg);
+    throw PanicError(msg);
+}
+
+/** Report a user-correctable error (bad configuration, bad program). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    auto msg = detail::format(std::forward<Args>(args)...);
+    detail::logMessage("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Report suspicious-but-survivable conditions. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::logMessage("warn", detail::format(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::logMessage("info", detail::format(std::forward<Args>(args)...));
+}
+
+/** Simulator-bug assertion that survives NDEBUG builds. */
+#define CBSIM_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::cbsim::panic("assertion failed: ", #cond, " ", __FILE__, ":", \
+                           __LINE__, " ", ##__VA_ARGS__);                   \
+        }                                                                   \
+    } while (0)
+
+} // namespace cbsim
+
+#endif // CBSIM_SIM_LOG_HH

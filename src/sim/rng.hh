@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * The simulator never uses std::random_device or global state: every
+ * stochastic component owns an Rng seeded from the run configuration, so a
+ * run is a pure function of its config.
+ */
+
+#ifndef CBSIM_SIM_RNG_HH
+#define CBSIM_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace cbsim {
+
+/** xoshiro256** by Blackman & Vigna; small, fast, and reproducible. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 so any 64-bit seed yields a good state. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire's method; bound > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Geometric-ish work perturbation: mean +/- spread, uniformly.
+     * Used for per-thread imbalance in workload generation.
+     */
+    std::uint64_t jitter(std::uint64_t mean, double spread);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_SIM_RNG_HH

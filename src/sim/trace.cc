@@ -1,0 +1,90 @@
+#include "sim/trace.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace cbsim {
+
+const char*
+traceCategoryName(TraceCategory c)
+{
+    switch (c) {
+      case TraceCategory::Core: return "core";
+      case TraceCategory::L1: return "l1";
+      case TraceCategory::Llc: return "llc";
+      case TraceCategory::CbDir: return "cbdir";
+      case TraceCategory::Noc: return "noc";
+      default: return "?";
+    }
+}
+
+Tracer&
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::configureFromEnvironment()
+{
+    const char* cats = std::getenv("CBSIM_TRACE");
+    if (cats) {
+        std::string list(cats);
+        for (std::size_t c = 0;
+             c < static_cast<std::size_t>(TraceCategory::NumCategories);
+             ++c) {
+            const char* name =
+                traceCategoryName(static_cast<TraceCategory>(c));
+            if (list == "all" || list.find(name) != std::string::npos)
+                enabled_[c] = true;
+        }
+    }
+    if (const char* addr = std::getenv("CBSIM_TRACE_ADDR"))
+        setLineFilter(std::strtoull(addr, nullptr, 0));
+}
+
+void
+Tracer::enable(TraceCategory c, bool on)
+{
+    enabled_[static_cast<std::size_t>(c)] = on;
+}
+
+void
+Tracer::enableAll(bool on)
+{
+    enabled_.fill(on);
+}
+
+void
+Tracer::setLineFilter(Addr line_addr)
+{
+    lineFilter_ = AddrLayout::lineAlign(line_addr);
+}
+
+void
+Tracer::setSink(std::ostream* sink)
+{
+    sink_ = sink;
+}
+
+void
+Tracer::emit(TraceCategory c, Tick now, const std::string& text)
+{
+    ++emitted_;
+    std::ostream& os = sink_ ? *sink_ : std::cerr;
+    os << '[' << now << "] " << traceCategoryName(c) << ": " << text
+       << '\n';
+}
+
+void
+Tracer::reset()
+{
+    enabled_.fill(false);
+    lineFilter_ = 0;
+    sink_ = nullptr;
+    emitted_ = 0;
+}
+
+} // namespace cbsim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef CBSIM_SIM_TYPES_HH
+#define CBSIM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace cbsim {
+
+/** Simulated time, in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "never" / "not scheduled". */
+inline constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Core (and hardware-thread) identifier; cores are numbered 0..N-1. */
+using CoreId = std::uint32_t;
+
+/** Mesh node identifier; node i hosts core i, its L1, and LLC bank i. */
+using NodeId = std::uint32_t;
+
+/** LLC bank identifier (one bank per mesh node). */
+using BankId = std::uint32_t;
+
+/** Sentinel core id (no core / invalid). */
+inline constexpr CoreId invalidCore = std::numeric_limits<CoreId>::max();
+
+/** Machine word (simulated memory is word-granular, 8 bytes). */
+using Word = std::uint64_t;
+
+} // namespace cbsim
+
+#endif // CBSIM_SIM_TYPES_HH

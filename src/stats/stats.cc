@@ -1,0 +1,165 @@
+#include "stats/stats.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace cbsim {
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    if (count_ == 0 || v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+    ++count_;
+    sum_ += v;
+    // Bucket index = position of the highest set bit (0 for v <= 1).
+    const unsigned bucket =
+        v <= 1 ? 0 : 64 - static_cast<unsigned>(std::countl_zero(v)) - 1;
+    ++buckets_[bucket];
+}
+
+void
+Histogram::reset()
+{
+    count_ = sum_ = min_ = max_ = 0;
+    buckets_.fill(0);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (p <= 0.0)
+        return static_cast<double>(min());
+    if (p >= 100.0)
+        return static_cast<double>(max());
+    const double target = p / 100.0 * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < numBuckets; ++b) {
+        if (buckets_[b] == 0)
+            continue;
+        if (static_cast<double>(seen + buckets_[b]) >= target) {
+            // Interpolate within [2^b, 2^(b+1)).
+            const double lo = b == 0 ? 0.0 : std::pow(2.0, b);
+            const double hi = std::pow(2.0, b + 1);
+            const double frac =
+                (target - static_cast<double>(seen)) /
+                static_cast<double>(buckets_[b]);
+            return lo + frac * (hi - lo);
+        }
+        seen += buckets_[b];
+    }
+    return static_cast<double>(max_);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+}
+
+void
+StatSet::add(const std::string& name, Counter& c)
+{
+    auto [it, inserted] = counters_.emplace(name, &c);
+    (void)it;
+    if (!inserted)
+        panic("duplicate counter registration: ", name);
+}
+
+void
+StatSet::add(const std::string& name, Histogram& h)
+{
+    auto [it, inserted] = histograms_.emplace(name, &h);
+    (void)it;
+    if (!inserted)
+        panic("duplicate histogram registration: ", name);
+}
+
+std::uint64_t
+StatSet::counter(const std::string& name) const
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        fatal("unknown counter: ", name);
+    return it->second->value();
+}
+
+bool
+StatSet::hasCounter(const std::string& name) const
+{
+    return counters_.count(name) != 0;
+}
+
+const Histogram&
+StatSet::histogram(const std::string& name) const
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        fatal("unknown histogram: ", name);
+    return *it->second;
+}
+
+std::uint64_t
+StatSet::sumByPrefix(const std::string& prefix) const
+{
+    std::uint64_t total = 0;
+    for (auto it = counters_.lower_bound(prefix); it != counters_.end();
+         ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        total += it->second->value();
+    }
+    return total;
+}
+
+void
+StatSet::resetAll()
+{
+    for (auto& [name, c] : counters_)
+        c->reset();
+    for (auto& [name, h] : histograms_)
+        h->reset();
+}
+
+void
+StatSet::dump(std::ostream& os) const
+{
+    for (const auto& [name, c] : counters_)
+        os << name << " = " << c->value() << '\n';
+    for (const auto& [name, h] : histograms_) {
+        os << name << " = {count=" << h->count() << " mean=" << h->mean()
+           << " min=" << h->min() << " max=" << h->max() << "}\n";
+    }
+}
+
+std::vector<std::string>
+StatSet::counterNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(counters_.size());
+    for (const auto& [name, c] : counters_)
+        names.push_back(name);
+    return names;
+}
+
+double
+geomean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        CBSIM_ASSERT(v > 0.0, "geomean of non-positive value");
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+} // namespace cbsim

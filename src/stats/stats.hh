@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Lightweight named-statistics package (counters, histograms, registry).
+ *
+ * Components own Counter/Histogram members and register them in a StatSet
+ * so that a run can be dumped, diffed, or aggregated by the harness.
+ */
+
+#ifndef CBSIM_STATS_STATS_HH
+#define CBSIM_STATS_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace cbsim {
+
+/** A monotonically increasing scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Samples a distribution: count, sum, min, max, mean, and approximate
+ * percentiles via power-of-two buckets. Used for per-operation
+ * latencies (e.g., lock-acquire latency), where the tail quantifies
+ * fairness: a FIFO hand-off (CLH, CB-One round-robin) has a tight
+ * p99/mean ratio while an unfair T&T&S under invalidation does not.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    void sample(std::uint64_t v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const;
+
+    /**
+     * Approximate p-th percentile (p in [0, 100]) from log2 buckets;
+     * exact to within a factor of 2 (linear interpolation within the
+     * bucket). Returns 0 for an empty histogram.
+     */
+    double percentile(double p) const;
+
+  private:
+    static constexpr unsigned numBuckets = 64;
+
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+    std::array<std::uint64_t, numBuckets> buckets_{};
+};
+
+/**
+ * A registry mapping dotted stat names ("llc.accesses") to live counters
+ * and histograms owned by components.
+ */
+class StatSet
+{
+  public:
+    /** Register a counter under @p name; the counter must outlive the set. */
+    void add(const std::string& name, Counter& c);
+    /** Register a histogram under @p name. */
+    void add(const std::string& name, Histogram& h);
+
+    /** Value of a registered counter; fatal if missing. */
+    std::uint64_t counter(const std::string& name) const;
+    /** Access a registered histogram; fatal if missing. */
+    const Histogram& histogram(const std::string& name) const;
+
+    bool hasCounter(const std::string& name) const;
+
+    /** Sum of all counters whose name starts with @p prefix. */
+    std::uint64_t sumByPrefix(const std::string& prefix) const;
+
+    /** Reset every registered statistic to zero. */
+    void resetAll();
+
+    /** Human-readable dump, sorted by name. */
+    void dump(std::ostream& os) const;
+
+    std::vector<std::string> counterNames() const;
+
+  private:
+    std::map<std::string, Counter*> counters_;
+    std::map<std::string, Histogram*> histograms_;
+};
+
+/** Geometric mean of @p values; values must be positive. */
+double geomean(const std::vector<double>& values);
+
+} // namespace cbsim
+
+#endif // CBSIM_STATS_STATS_HH

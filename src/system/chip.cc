@@ -1,0 +1,112 @@
+#include "system/chip.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace cbsim {
+
+Chip::Chip(const ChipConfig& cfg)
+    : cfg_(cfg), mesh_(eq_, cfg.noc, stats_),
+      memory_(eq_, cfg.memLatency, stats_)
+{
+    cfg_.validate();
+    // LLC banks see only their own residue class of line numbers; index
+    // sets on the post-interleaving bits so the whole bank is usable.
+    cfg_.llcBank.indexDivisor = cfg_.numCores;
+    syncStats_.registerStats(stats_);
+    classifier_.registerStats(stats_, "pages");
+
+    const unsigned n = cfg_.numCores;
+    l1s_.reserve(n);
+    banks_.reserve(n);
+    cores_.reserve(n);
+
+    for (CoreId i = 0; i < n; ++i) {
+        const auto node = static_cast<NodeId>(i);
+        if (cfg_.protocol == ProtocolKind::Mesi) {
+            auto l1 = std::make_unique<MesiL1>(
+                i, node, eq_, mesh_, data_, cfg_.l1, cfg_.l1Latency, n,
+                cfg_.backoff.pauseDelay);
+            l1->registerStats(stats_, "l1." + std::to_string(i));
+            auto bank = std::make_unique<MesiLlcBank>(
+                static_cast<BankId>(i), eq_, mesh_, data_, memory_,
+                cfg_.llcBank, cfg_.llc);
+            bank->registerStats(stats_, "llc." + std::to_string(i));
+            l1s_.push_back(std::move(l1));
+            banks_.push_back(std::move(bank));
+        } else {
+            auto l1 = std::make_unique<VipsL1>(
+                i, node, eq_, mesh_, data_, classifier_, cfg_.l1,
+                cfg_.l1Latency, n);
+            l1->registerStats(stats_, "l1." + std::to_string(i));
+            vipsL1s_.push_back(l1.get());
+            auto bank = std::make_unique<VipsLlcBank>(
+                static_cast<BankId>(i), eq_, mesh_, data_, memory_,
+                cfg_.llcBank, cfg_.llc, cfg_.cbEntriesPerBank,
+                cfg_.cbDirLatency, n);
+            bank->registerStats(stats_, "llc." + std::to_string(i));
+            l1s_.push_back(std::move(l1));
+            banks_.push_back(std::move(bank));
+        }
+
+        mesh_.attach(node, Port::Core,
+                     [l1 = l1s_.back().get()](const Message& m) {
+                         l1->handleMessage(m);
+                     });
+        mesh_.attach(node, Port::Bank,
+                     [bank = banks_.back().get()](const Message& m) {
+                         bank->handleMessage(m);
+                     });
+
+        auto core = std::make_unique<Core>(
+            i, eq_, *l1s_.back(), cfg_.backoff, syncStats_,
+            [this] { ++finished_; });
+        core->registerStats(stats_, "core." + std::to_string(i));
+        cores_.push_back(std::move(core));
+    }
+
+    if (cfg_.protocol == ProtocolKind::Vips) {
+        classifier_.setTransitionHook(
+            [this](CoreId prev_owner, Addr page_base) {
+                vipsL1s_.at(prev_owner)->reclassifyPage(page_base);
+            });
+    }
+}
+
+void
+Chip::setProgram(CoreId core, Program program)
+{
+    cores_.at(core)->setProgram(std::move(program));
+}
+
+RunResult
+Chip::run()
+{
+    CBSIM_ASSERT(!ran_, "Chip::run called twice");
+    ran_ = true;
+    for (auto& core : cores_)
+        core->start();
+    eq_.run(cfg_.maxTicks);
+    if (finished_ != cfg_.numCores) {
+        fatal("deadlock: only ", finished_, " of ", cfg_.numCores,
+              " cores finished");
+    }
+    // Execution time is the last core's completion; the queue may drain
+    // later due to harmless residual events (e.g., spin-watch timeouts).
+    Tick end = 0;
+    for (const auto& core : cores_)
+        end = std::max(end, core->doneTick());
+    return RunResult::fromStats(stats_, syncStats_, end);
+}
+
+const CallbackDirectory&
+Chip::callbackDirectory(BankId i) const
+{
+    const auto* bank = dynamic_cast<const VipsLlcBank*>(banks_.at(i).get());
+    if (!bank)
+        fatal("callbackDirectory: not a VIPS chip");
+    return bank->directory();
+}
+
+} // namespace cbsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Top-level system builder: wires cores, L1s, LLC banks, the mesh, the
+ * memory model, and (for VIPS) the page classifier and the per-bank
+ * callback directories into a runnable chip.
+ */
+
+#ifndef CBSIM_SYSTEM_CHIP_HH
+#define CBSIM_SYSTEM_CHIP_HH
+
+#include <memory>
+#include <vector>
+
+#include "coherence/mesi/mesi_l1.hh"
+#include "coherence/mesi/mesi_llc.hh"
+#include "coherence/vips/page_classifier.hh"
+#include "coherence/vips/vips_l1.hh"
+#include "coherence/vips/vips_llc.hh"
+#include "core/core.hh"
+#include "mem/data_store.hh"
+#include "mem/memory_model.hh"
+#include "system/chip_config.hh"
+#include "system/run_result.hh"
+
+namespace cbsim {
+
+/** A complete simulated CMP. Build, load programs, run once. */
+class Chip
+{
+  public:
+    explicit Chip(const ChipConfig& cfg);
+
+    /** Load @p program onto core @p core (before run()). */
+    void setProgram(CoreId core, Program program);
+
+    /**
+     * Run to completion (all cores executed Done).
+     * @return aggregated metrics
+     */
+    RunResult run();
+
+    // --- introspection (tests, examples) -------------------------------
+    const ChipConfig& config() const { return cfg_; }
+    EventQueue& eventQueue() { return eq_; }
+    DataStore& dataStore() { return data_; }
+    StatSet& stats() { return stats_; }
+    SyncStats& syncStats() { return syncStats_; }
+    Core& core(CoreId i) { return *cores_.at(i); }
+    L1Controller& l1(CoreId i) { return *l1s_.at(i); }
+    LlcBank& bank(BankId i) { return *banks_.at(i); }
+
+    /** VIPS-only: the callback directory of bank @p i (for tests). */
+    const CallbackDirectory& callbackDirectory(BankId i) const;
+
+    unsigned finishedCores() const { return finished_; }
+
+  private:
+    ChipConfig cfg_;
+    EventQueue eq_;
+    StatSet stats_;
+    DataStore data_;
+    Mesh mesh_;
+    MemoryModel memory_;
+    PageClassifier classifier_;
+    SyncStats syncStats_;
+
+    std::vector<std::unique_ptr<L1Controller>> l1s_;
+    std::vector<std::unique_ptr<LlcBank>> banks_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<VipsL1*> vipsL1s_; ///< non-owning, VIPS only
+
+    unsigned finished_ = 0;
+    bool ran_ = false;
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_SYSTEM_CHIP_HH

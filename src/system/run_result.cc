@@ -1,0 +1,67 @@
+#include "system/run_result.hh"
+
+#include <sstream>
+
+namespace cbsim {
+
+std::uint64_t
+RunResult::sumWhere(const StatSet& stats, const std::string& prefix,
+                    const std::string& suffix)
+{
+    std::uint64_t total = 0;
+    for (const auto& name : stats.counterNames()) {
+        if (name.size() < prefix.size() + suffix.size())
+            continue;
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        if (name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        total += stats.counter(name);
+    }
+    return total;
+}
+
+RunResult
+RunResult::fromStats(const StatSet& stats, const SyncStats& sync_stats,
+                     Tick cycles)
+{
+    RunResult r;
+    r.cycles = cycles;
+    r.llcAccesses = sumWhere(stats, "llc.", ".accesses");
+    r.llcSyncAccesses = sumWhere(stats, "llc.", ".sync_accesses");
+    r.l1Accesses = sumWhere(stats, "l1.", ".accesses");
+    r.cbdirAccesses = sumWhere(stats, "llc.", ".cbdir_accesses");
+    r.flitHops = stats.counter("noc.flit_hops");
+    r.packets = stats.counter("noc.packets");
+    r.memReads = stats.counter("mem.reads");
+    r.instructions = sumWhere(stats, "core.", ".instructions");
+    r.invalidationsSent = sumWhere(stats, "llc.", ".invs_sent");
+    r.cbWakeups = sumWhere(stats, "llc.", ".wakes_sent");
+    r.cbdirEvictions = sumWhere(stats, "llc.", ".cbdir.evictions");
+    r.stallCycles = sumWhere(stats, "core.", ".stall_cycles");
+    r.cbBlockedCycles = sumWhere(stats, "core.", ".cb_blocked_cycles");
+
+    for (std::size_t k = 0; k < SyncStats::numKinds; ++k) {
+        const auto& h = sync_stats.latency[k];
+        r.sync[k].completions = h.count();
+        r.sync[k].meanLatency = h.mean();
+        r.sync[k].totalLatency = h.sum();
+        r.sync[k].maxLatency = h.max();
+        r.sync[k].p99Latency = h.percentile(99.0);
+    }
+    return r;
+}
+
+std::string
+RunResult::summary() const
+{
+    std::ostringstream os;
+    os << "cycles=" << cycles << " llc=" << llcAccesses
+       << " llc_sync=" << llcSyncAccesses << " l1=" << l1Accesses
+       << " flit_hops=" << flitHops << " packets=" << packets
+       << " mem_reads=" << memReads;
+    return os.str();
+}
+
+} // namespace cbsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Aggregated per-run metrics extracted from a finished simulation —
+ * the quantities behind every figure in the paper's evaluation.
+ */
+
+#ifndef CBSIM_SYSTEM_RUN_RESULT_HH
+#define CBSIM_SYSTEM_RUN_RESULT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/core.hh"
+#include "stats/stats.hh"
+
+namespace cbsim {
+
+/** One synchronization kind's latency summary. */
+struct SyncKindResult
+{
+    std::uint64_t completions = 0;
+    double meanLatency = 0.0;
+    std::uint64_t totalLatency = 0;
+    std::uint64_t maxLatency = 0;
+    double p99Latency = 0.0; ///< tail latency (fairness indicator)
+};
+
+/** Metrics of one simulation run. */
+struct RunResult
+{
+    Tick cycles = 0;            ///< parallel-section execution time
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcSyncAccesses = 0; ///< Fig. 1 / Fig. 20 metric
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t cbdirAccesses = 0;
+    std::uint64_t flitHops = 0;        ///< network traffic metric
+    std::uint64_t packets = 0;
+    std::uint64_t memReads = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t invalidationsSent = 0;
+    std::uint64_t cbWakeups = 0;
+    std::uint64_t cbdirEvictions = 0;
+    std::uint64_t stallCycles = 0;     ///< total core memory-stall cycles
+    std::uint64_t cbBlockedCycles = 0; ///< stalls in blocking callbacks
+
+    std::array<SyncKindResult, SyncStats::numKinds> sync{};
+
+    /** Sum counters named "<any prefix>.<suffix>" starting with prefix. */
+    static std::uint64_t sumWhere(const StatSet& stats,
+                                  const std::string& prefix,
+                                  const std::string& suffix);
+
+    /** Extract every metric from a finished run's stats. */
+    static RunResult fromStats(const StatSet& stats, const SyncStats& sync,
+                               Tick cycles);
+
+    std::string summary() const;
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_SYSTEM_RUN_RESULT_HH

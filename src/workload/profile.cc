@@ -1,0 +1,14 @@
+#include "workload/profile.hh"
+
+namespace cbsim {
+
+std::uint64_t
+Profile::approxWorkPerThread() const
+{
+    const std::uint64_t per_phase =
+        workMean + lockAcqPerPhase * (csWork + 50) +
+        dataOpsPerUnit * 4 + privOpsPerUnit * 2;
+    return phases * per_phase;
+}
+
+} // namespace cbsim

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The 19-benchmark suite evaluated in the paper (§5.1): the entire
+ * Splash-2 suite plus seven PARSEC benchmarks, as synchronization
+ * skeletons (see DESIGN.md for the substitution rationale).
+ */
+
+#ifndef CBSIM_WORKLOAD_SUITE_HH
+#define CBSIM_WORKLOAD_SUITE_HH
+
+#include <vector>
+
+#include "workload/profile.hh"
+
+namespace cbsim {
+
+/** All 19 benchmark profiles, Splash-2 first, then PARSEC. */
+const std::vector<Profile>& benchmarkSuite();
+
+/** Look up a profile by name; fatal if unknown. */
+const Profile& benchmark(const std::string& name);
+
+/** A reduced subset for quick tests and ablations. */
+std::vector<Profile> quickSuite();
+
+/** Scale a profile's volume by @p factor (for fast test runs). */
+Profile scaled(const Profile& p, double factor);
+
+} // namespace cbsim
+
+#endif // CBSIM_WORKLOAD_SUITE_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Exponential back-off policy tests: doubling, the exponentiation cap
+ * (paper §5.2: BackOff-0/5/10/15), and streak resets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/backoff/backoff.hh"
+
+namespace cbsim {
+namespace {
+
+TEST(Backoff, FirstIssueIsNeverDelayed)
+{
+    BackoffPolicy p(BackoffConfig::capped(10));
+    EXPECT_EQ(p.nextDelay(42), 0u);
+}
+
+TEST(Backoff, DoublesPerConsecutiveRetry)
+{
+    BackoffPolicy p(BackoffConfig::capped(10, 16));
+    EXPECT_EQ(p.nextDelay(42), 0u);
+    EXPECT_EQ(p.nextDelay(42), 16u);
+    EXPECT_EQ(p.nextDelay(42), 32u);
+    EXPECT_EQ(p.nextDelay(42), 64u);
+    EXPECT_EQ(p.nextDelay(42), 128u);
+}
+
+TEST(Backoff, CapsAfterMaxExponentiations)
+{
+    BackoffPolicy p(BackoffConfig::capped(5, 16));
+    p.nextDelay(42); // first issue
+    Tick last = 0;
+    for (int i = 0; i < 20; ++i)
+        last = p.nextDelay(42);
+    EXPECT_EQ(last, 16u << 5); // ceiling: base * 2^5
+}
+
+TEST(Backoff, BackOff0NeverDelays)
+{
+    BackoffPolicy p(BackoffConfig::capped(0, 16));
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(p.nextDelay(42), 0u);
+}
+
+TEST(Backoff, DisabledNeverDelays)
+{
+    BackoffPolicy p(BackoffConfig::off());
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(p.nextDelay(42), 0u);
+}
+
+TEST(Backoff, DifferentPcBreaksTheStreak)
+{
+    BackoffPolicy p(BackoffConfig::capped(10, 16));
+    p.nextDelay(42);
+    EXPECT_EQ(p.nextDelay(42), 16u);
+    EXPECT_EQ(p.nextDelay(99), 0u); // new spin site
+    EXPECT_EQ(p.nextDelay(99), 16u);
+}
+
+TEST(Backoff, ExplicitResetBreaksTheStreak)
+{
+    BackoffPolicy p(BackoffConfig::capped(10, 16));
+    p.nextDelay(42);
+    p.nextDelay(42);
+    p.reset();
+    EXPECT_EQ(p.nextDelay(42), 0u);
+}
+
+TEST(Backoff, RetryCounterTracksStreak)
+{
+    BackoffPolicy p(BackoffConfig::capped(10));
+    p.nextDelay(1);
+    EXPECT_EQ(p.consecutiveRetries(), 0u);
+    p.nextDelay(1);
+    p.nextDelay(1);
+    EXPECT_EQ(p.consecutiveRetries(), 2u);
+}
+
+TEST(Backoff, Cap15ReachesLargeCeiling)
+{
+    BackoffPolicy p(BackoffConfig::capped(15, 16));
+    p.nextDelay(7);
+    Tick last = 0;
+    for (int i = 0; i < 40; ++i)
+        last = p.nextDelay(7);
+    EXPECT_EQ(last, 16u << 15);
+}
+
+} // namespace
+} // namespace cbsim

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Callback-directory unit tests, including step-by-step replays of the
+ * paper's worked examples: Figure 3 (callback-all), Figure 4
+ * (callback-one with write_CB1), and the replacement behaviour
+ * (Fig. 3 steps 5-6). A randomized test cross-checks the invariant that
+ * a blocked read's CB bit is always set until a write (or eviction)
+ * satisfies it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coherence/callback/callback_directory.hh"
+#include "sim/rng.hh"
+
+namespace cbsim {
+namespace {
+
+constexpr Addr kWord = 0x1000;
+
+TEST(CallbackDirectory, FreshEntryStartsFullAllNoCallbacks)
+{
+    CallbackDirectory dir(4, 4);
+    // First ld_cb allocates; all F/E bits full -> consume immediately.
+    auto res = dir.ldCb(kWord, 0);
+    EXPECT_FALSE(res.blocked);
+    auto snap = dir.snapshot(kWord);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->cb, 0u);
+    EXPECT_EQ(snap->fe, 0b1110u); // core 0 consumed its bit
+    EXPECT_FALSE(snap->aoOne);
+}
+
+TEST(CallbackDirectory, Figure3Walkthrough)
+{
+    CallbackDirectory dir(4, 4);
+
+    // Step 1: all four cores read after the entry is installed: the
+    // starting state of all F/E bits becomes 0.
+    for (CoreId c = 0; c < 4; ++c)
+        EXPECT_FALSE(dir.ldCb(kWord, c).blocked);
+    EXPECT_EQ(dir.snapshot(kWord)->fe, 0u);
+
+    // Step 2: cores 0 and 2 issue callbacks; there is no value, so they
+    // block and set their CB bits.
+    EXPECT_TRUE(dir.ldCb(kWord, 0).blocked);
+    EXPECT_TRUE(dir.ldCb(kWord, 2).blocked);
+    EXPECT_EQ(dir.snapshot(kWord)->cb, 0b0101u);
+    EXPECT_TRUE(dir.hasCallback(kWord, 0));
+    EXPECT_TRUE(dir.hasCallback(kWord, 2));
+
+    // Step 3: core 3 writes; both callbacks are satisfied, and the F/E
+    // bits of the cores that did NOT have callbacks become full.
+    auto wr = dir.store(kWord, 3, WakePolicy::All);
+    EXPECT_EQ(wr.wake, (std::vector<CoreId>{0, 2}));
+    auto snap = dir.snapshot(kWord);
+    EXPECT_EQ(snap->cb, 0u);
+    EXPECT_EQ(snap->fe, 0b1010u); // cores 1 and 3 full; 0 and 2 consumed
+
+    // Step 4: core 1 issues a callback and finds its F/E bit full; it
+    // consumes immediately, leaving F/E and CB unset.
+    EXPECT_FALSE(dir.ldCb(kWord, 1).blocked);
+    snap = dir.snapshot(kWord);
+    EXPECT_EQ(snap->fe, 0b1000u);
+    EXPECT_EQ(snap->cb, 0u);
+}
+
+TEST(CallbackDirectory, Figure3ReplacementLosesBitsAndWakesWaiters)
+{
+    CallbackDirectory dir(1, 4); // one entry: any new word evicts
+
+    // Core 1 blocks on kWord (consume the fresh-full state first).
+    dir.ldCb(kWord, 1);
+    EXPECT_TRUE(dir.ldCb(kWord, 1).blocked);
+
+    // Step 5: a callback read to a different word evicts kWord's entry;
+    // the blocked waiter must be satisfied with the current value.
+    auto res = dir.ldCb(0x2000, 0);
+    EXPECT_FALSE(res.blocked); // fresh entry, F/E full
+    EXPECT_TRUE(res.evictionHappened);
+    EXPECT_EQ(res.evictedWord, kWord);
+    EXPECT_EQ(res.evictedWaiters, (std::vector<CoreId>{1}));
+
+    // Step 6: re-created entries start at the known state.
+    dir.ldCb(kWord, 2); // evicts 0x2000, allocates fresh
+    auto snap = dir.snapshot(kWord);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->cb, 0u);
+    EXPECT_EQ(snap->fe, 0b1011u); // all full minus core 2's consume
+    EXPECT_FALSE(snap->aoOne);
+}
+
+TEST(CallbackDirectory, Figure4CallbackOneWalkthrough)
+{
+    CallbackDirectory dir(4, 4);
+
+    // Put the entry into One mode with full F/E bits: a release with no
+    // waiters (write_CB1).
+    dir.ldCb(kWord, 2); // allocate (consumes core 2's bit)
+    dir.store(kWord, 2, WakePolicy::One);
+    auto snap = dir.snapshot(kWord);
+    EXPECT_TRUE(snap->aoOne);
+    EXPECT_EQ(snap->fe, 0b1111u); // step 1: F/E all full, in unison
+
+    // Step 2: core 2 reads the lock; ALL F/E bits act in unison and
+    // become empty.
+    EXPECT_FALSE(dir.ldCb(kWord, 2).blocked);
+    EXPECT_EQ(dir.snapshot(kWord)->fe, 0u);
+
+    // Steps 3-5: cores 0, 1, 3 must block and set callbacks.
+    EXPECT_TRUE(dir.ldCb(kWord, 0).blocked);
+    EXPECT_TRUE(dir.ldCb(kWord, 1).blocked);
+    EXPECT_TRUE(dir.ldCb(kWord, 3).blocked);
+    EXPECT_EQ(dir.snapshot(kWord)->cb, 0b1011u);
+
+    // Step 6: core 2 releases with write_CB1: exactly ONE waiter wakes.
+    // Round-robin from above the writer: core 3 is picked (matching the
+    // paper's hand-off order 2, 3, 0, 1).
+    auto wr = dir.store(kWord, 2, WakePolicy::One);
+    EXPECT_EQ(wr.wake, (std::vector<CoreId>{3}));
+
+    // Step 9 property: F/E bits stay empty (undisturbed).
+    snap = dir.snapshot(kWord);
+    EXPECT_EQ(snap->fe, 0u);
+    EXPECT_EQ(snap->cb, 0b0011u);
+
+    // Subsequent releases continue the round-robin hand-off: 0, then 1.
+    EXPECT_EQ(dir.store(kWord, 3, WakePolicy::One).wake,
+              (std::vector<CoreId>{0}));
+    EXPECT_EQ(dir.store(kWord, 0, WakePolicy::One).wake,
+              (std::vector<CoreId>{1}));
+    EXPECT_EQ(dir.snapshot(kWord)->cb, 0u);
+}
+
+TEST(CallbackDirectory, WriteCb1WithNoWaitersFillsInUnison)
+{
+    CallbackDirectory dir(4, 4);
+    dir.ldCb(kWord, 0);
+    dir.store(kWord, 0, WakePolicy::One);
+    auto snap = dir.snapshot(kWord);
+    EXPECT_TRUE(snap->aoOne);
+    EXPECT_EQ(snap->fe, 0b1111u);
+    // The next single reader consumes for everyone.
+    EXPECT_FALSE(dir.ldCb(kWord, 3).blocked);
+    EXPECT_EQ(dir.snapshot(kWord)->fe, 0u);
+}
+
+TEST(CallbackDirectory, WriteCb0WakesNobodyAndKeepsOneMode)
+{
+    CallbackDirectory dir(4, 4);
+    dir.ldCb(kWord, 0);
+    dir.store(kWord, 0, WakePolicy::One); // One mode, full
+    dir.ldCb(kWord, 1);                   // consumes in unison
+    EXPECT_TRUE(dir.ldCb(kWord, 2).blocked);
+
+    // st_cb0 (the write of a successful RMW): nobody wakes, F/E stays
+    // empty, mode stays One (Fig. 6).
+    auto wr = dir.store(kWord, 1, WakePolicy::Zero);
+    EXPECT_TRUE(wr.wake.empty());
+    auto snap = dir.snapshot(kWord);
+    EXPECT_TRUE(snap->aoOne);
+    EXPECT_EQ(snap->fe, 0u);
+    EXPECT_EQ(snap->cb, 0b0100u); // core 2 still waiting
+}
+
+TEST(CallbackDirectory, NormalWriteResetsOneModeToAll)
+{
+    CallbackDirectory dir(4, 4);
+    dir.ldCb(kWord, 0);
+    dir.store(kWord, 0, WakePolicy::One);
+    EXPECT_TRUE(dir.snapshot(kWord)->aoOne);
+    dir.store(kWord, 1, WakePolicy::All); // st_through resets A/O
+    EXPECT_FALSE(dir.snapshot(kWord)->aoOne);
+}
+
+TEST(CallbackDirectory, LdThroughConsumesButNeverBlocksOrAllocates)
+{
+    CallbackDirectory dir(4, 4);
+    // No entry: no allocation.
+    dir.ldThrough(kWord, 0);
+    EXPECT_FALSE(dir.snapshot(kWord).has_value());
+    EXPECT_EQ(dir.validEntries(), 0u);
+
+    // With an entry: consumes this core's F/E bit.
+    dir.ldCb(kWord, 1); // allocate (core 1 consumes)
+    dir.ldThrough(kWord, 0);
+    EXPECT_EQ(dir.snapshot(kWord)->fe, 0b1100u);
+    // Repeated ld_through when empty: no state change, no blocking.
+    dir.ldThrough(kWord, 0);
+    EXPECT_EQ(dir.snapshot(kWord)->fe, 0b1100u);
+}
+
+TEST(CallbackDirectory, LdThroughConsumesInUnisonInOneMode)
+{
+    CallbackDirectory dir(4, 4);
+    dir.ldCb(kWord, 0);
+    dir.store(kWord, 0, WakePolicy::One); // One, full
+    dir.ldThrough(kWord, 3);
+    EXPECT_EQ(dir.snapshot(kWord)->fe, 0u);
+}
+
+TEST(CallbackDirectory, StoresNeverAllocate)
+{
+    CallbackDirectory dir(4, 4);
+    dir.store(kWord, 0, WakePolicy::All);
+    dir.store(kWord, 0, WakePolicy::One);
+    dir.store(kWord, 0, WakePolicy::Zero);
+    EXPECT_EQ(dir.validEntries(), 0u);
+}
+
+TEST(CallbackDirectory, RoundRobinWrapsPastHighestId)
+{
+    CallbackDirectory dir(4, 8);
+    dir.ldCb(kWord, 0);
+    dir.store(kWord, 0, WakePolicy::One);
+    dir.ldCb(kWord, 0); // consume in unison
+    for (CoreId c : {1u, 2u, 6u})
+        EXPECT_TRUE(dir.ldCb(kWord, c).blocked);
+    // Writer 7: scan 0,1,... -> wakes 1 (wraps past the top id).
+    EXPECT_EQ(dir.store(kWord, 7, WakePolicy::One).wake,
+              (std::vector<CoreId>{1}));
+    // Writer 5: scan 6,7,0,... -> wakes 6.
+    EXPECT_EQ(dir.store(kWord, 5, WakePolicy::One).wake,
+              (std::vector<CoreId>{6}));
+}
+
+TEST(CallbackDirectory, LruEvictionPicksOldestEntry)
+{
+    CallbackDirectory dir(2, 2);
+    dir.ldCb(0x1000, 0);
+    dir.ldCb(0x2000, 0);
+    dir.ldCb(0x1000, 1); // touch 0x1000: 0x2000 becomes LRU
+    auto res = dir.ldCb(0x3000, 0);
+    EXPECT_TRUE(res.evictionHappened);
+    EXPECT_EQ(res.evictedWord, 0x2000u);
+}
+
+TEST(CallbackDirectory, WordGranularity)
+{
+    CallbackDirectory dir(4, 4);
+    // Two words of the same cache line get independent entries (§2.2).
+    dir.ldCb(0x1000, 0);
+    dir.ldCb(0x1008, 0);
+    EXPECT_EQ(dir.validEntries(), 2u);
+    EXPECT_TRUE(dir.ldCb(0x1000, 0).blocked);
+    // Blocking on word 0 does not affect word 1's state.
+    EXPECT_EQ(dir.snapshot(0x1008)->cb, 0u);
+}
+
+TEST(CallbackDirectory, RejectsBadConfig)
+{
+    EXPECT_THROW(CallbackDirectory(0, 4), FatalError);
+    EXPECT_THROW(CallbackDirectory(4, 0), FatalError);
+    EXPECT_THROW(CallbackDirectory(4, 65), FatalError);
+}
+
+TEST(CallbackDirectory, SupportsSixtyFourCores)
+{
+    CallbackDirectory dir(4, 64);
+    dir.ldCb(kWord, 63);
+    EXPECT_TRUE(dir.ldCb(kWord, 63).blocked);
+    auto wr = dir.store(kWord, 0, WakePolicy::All);
+    EXPECT_EQ(wr.wake, (std::vector<CoreId>{63}));
+}
+
+/**
+ * Randomized invariant check against a reference model: every blocked
+ * read is eventually woken exactly once (by a store or an eviction), and
+ * CB bits always mirror the set of outstanding blocked readers.
+ */
+TEST(CallbackDirectory, RandomOpsMatchReferenceModel)
+{
+    constexpr unsigned cores = 8;
+    CallbackDirectory dir(2, cores);
+    Rng rng(2024);
+    const Addr words[] = {0x1000, 0x2000, 0x3000};
+
+    // Reference: per word, the set of blocked cores.
+    std::map<Addr, std::set<CoreId>> blocked;
+    auto on_wake = [&](Addr w, const std::vector<CoreId>& v) {
+        for (CoreId c : v) {
+            ASSERT_TRUE(blocked[w].count(c));
+            blocked[w].erase(c);
+        }
+    };
+
+    for (int i = 0; i < 20000; ++i) {
+        const Addr w = words[rng.below(3)];
+        const auto core = static_cast<CoreId>(rng.below(cores));
+        switch (rng.below(4)) {
+          case 0: {
+            if (blocked[w].count(core))
+                break; // a blocked core cannot issue (cores block)
+            auto res = dir.ldCb(w, core);
+            if (res.evictionHappened)
+                on_wake(res.evictedWord, res.evictedWaiters);
+            if (res.blocked)
+                blocked[w].insert(core);
+            break;
+          }
+          case 1:
+            if (!blocked[w].count(core))
+                dir.ldThrough(w, core);
+            break;
+          case 2:
+            on_wake(w, dir.store(w, core, WakePolicy::All).wake);
+            break;
+          case 3:
+            on_wake(w, dir.store(w, core, WakePolicy::One).wake);
+            break;
+        }
+        // CB bits must mirror the blocked sets at all times.
+        for (Addr check : words) {
+            for (CoreId c = 0; c < cores; ++c) {
+                EXPECT_EQ(dir.hasCallback(check, c),
+                          blocked[check].count(c) != 0);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace cbsim

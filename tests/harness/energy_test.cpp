@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Energy-model tests: linearity in event counts, component attribution,
+ * and the Figure 22 on-chip aggregate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+namespace cbsim {
+namespace {
+
+RunResult
+counts(std::uint64_t l1, std::uint64_t llc, std::uint64_t hops,
+       std::uint64_t cbdir = 0, std::uint64_t mem = 0)
+{
+    RunResult r;
+    r.l1Accesses = l1;
+    r.llcAccesses = llc;
+    r.flitHops = hops;
+    r.cbdirAccesses = cbdir;
+    r.memReads = mem;
+    return r;
+}
+
+TEST(EnergyModel, ZeroEventsZeroEnergy)
+{
+    const auto e = computeEnergy(counts(0, 0, 0));
+    EXPECT_DOUBLE_EQ(e.total(), 0.0);
+}
+
+TEST(EnergyModel, LinearInEachComponent)
+{
+    EnergyParams p;
+    const auto e1 = computeEnergy(counts(100, 0, 0), p);
+    const auto e2 = computeEnergy(counts(200, 0, 0), p);
+    EXPECT_DOUBLE_EQ(e2.l1, 2 * e1.l1);
+    EXPECT_DOUBLE_EQ(e1.l1, 100 * p.l1Access);
+
+    const auto n1 = computeEnergy(counts(0, 0, 1000), p);
+    EXPECT_DOUBLE_EQ(n1.network, 1000 * p.flitHop);
+}
+
+TEST(EnergyModel, OnChipExcludesMemory)
+{
+    const auto e = computeEnergy(counts(10, 10, 10, 10, 10));
+    EXPECT_GT(e.memory, 0.0);
+    EXPECT_DOUBLE_EQ(e.onChip(), e.l1 + e.llc + e.network + e.cbdir);
+    EXPECT_DOUBLE_EQ(e.total(), e.onChip() + e.memory);
+}
+
+TEST(EnergyModel, DefaultsFollowThePapersRelativeWeights)
+{
+    // §5.4.2: the L1 is "relatively more expensive to access than the
+    // LLC"; the callback directory is tiny.
+    EnergyParams p;
+    EXPECT_GT(p.l1Access, p.llcAccess);
+    EXPECT_LT(p.cbDirAccess, 0.2 * p.llcAccess);
+}
+
+TEST(EnergyModel, SummaryMentionsComponents)
+{
+    const auto e = computeEnergy(counts(1, 1, 1));
+    const auto s = e.summary();
+    EXPECT_NE(s.find("l1="), std::string::npos);
+    EXPECT_NE(s.find("net="), std::string::npos);
+}
+
+} // namespace
+} // namespace cbsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the experiment harness: micro-benchmarks and full workload
+ * runs return sane, internally consistent metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace cbsim {
+namespace {
+
+TEST(SyncMicroHarness, AllMicrosRunOnAllTechniques)
+{
+    for (SyncMicro m :
+         {SyncMicro::TtasLock, SyncMicro::ClhLock, SyncMicro::SrBarrier,
+          SyncMicro::TreeBarrier, SyncMicro::SignalWait}) {
+        for (Technique t : {Technique::Invalidation, Technique::BackOff10,
+                            Technique::CbOne}) {
+            auto r = runSyncMicro(m, t, 4, 3, 500);
+            EXPECT_GT(r.run.cycles, 0u) << syncMicroName(m);
+            EXPECT_GT(r.run.packets, 0u) << syncMicroName(m);
+        }
+    }
+}
+
+TEST(SyncMicroHarness, LockMicroCountsAcquires)
+{
+    auto r = runSyncMicro(SyncMicro::ClhLock, Technique::CbOne, 16, 4);
+    const auto acq = static_cast<std::size_t>(SyncKind::Acquire);
+    EXPECT_EQ(r.run.sync[acq].completions, 64u);
+}
+
+TEST(SyncMicroHarness, BarrierMicroCountsEpisodes)
+{
+    auto r = runSyncMicro(SyncMicro::TreeBarrier, Technique::BackOff5, 16,
+                          5);
+    const auto bar = static_cast<std::size_t>(SyncKind::Barrier);
+    EXPECT_EQ(r.run.sync[bar].completions, 80u);
+}
+
+TEST(SyncMicroHarness, SignalWaitPairsBalance)
+{
+    auto r = runSyncMicro(SyncMicro::SignalWait, Technique::CbAll, 16, 6);
+    const auto sk = static_cast<std::size_t>(SyncKind::Signal);
+    const auto wk = static_cast<std::size_t>(SyncKind::Wait);
+    EXPECT_EQ(r.run.sync[sk].completions, r.run.sync[wk].completions);
+    EXPECT_EQ(r.run.sync[sk].completions, 48u);
+}
+
+TEST(ExperimentHarness, MetricsAreInternallyConsistent)
+{
+    Profile p = scaled(benchmark("fmm"), 0.2);
+    p.phases = 2;
+    auto r = runExperiment(p, Technique::CbOne, 16);
+    EXPECT_GE(r.run.llcAccesses, r.run.llcSyncAccesses);
+    EXPECT_GT(r.run.l1Accesses, 0u);
+    EXPECT_GT(r.run.instructions, 0u);
+    EXPECT_GT(r.energy.onChip(), 0.0);
+    // Energy components derive from the same counters.
+    EXPECT_DOUBLE_EQ(r.energy.llc,
+                     EnergyParams{}.llcAccess *
+                         static_cast<double>(r.run.llcAccesses));
+}
+
+TEST(ExperimentHarness, SyncChoicePresetsDiffer)
+{
+    EXPECT_EQ(SyncChoice::scalable().lock, LockAlgo::Clh);
+    EXPECT_EQ(SyncChoice::scalable().barrier,
+              BarrierAlgo::TreeSenseReversing);
+    EXPECT_EQ(SyncChoice::naive().lock, LockAlgo::TestAndTestAndSet);
+    EXPECT_EQ(SyncChoice::naive().barrier, BarrierAlgo::SenseReversing);
+}
+
+} // namespace
+} // namespace cbsim

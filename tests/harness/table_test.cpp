@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tests for the bench table printer and numeric formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/table.hh"
+#include "sim/log.hh"
+
+namespace cbsim {
+namespace {
+
+TEST(TablePrinter, AlignsColumnsAndPrintsRule)
+{
+    std::ostringstream os;
+    TablePrinter t(os, {"name", "a", "b"}, 8, 6);
+    t.row({"x", "1", "2"});
+    const auto text = os.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);
+    // All lines have equal width (header, rule, row).
+    std::istringstream in(text);
+    std::string line;
+    std::getline(in, line);
+    const auto w = line.size();
+    std::getline(in, line);
+    EXPECT_EQ(line.size(), w);
+    std::getline(in, line);
+    EXPECT_EQ(line.size(), w);
+}
+
+TEST(TablePrinter, ArityMismatchPanics)
+{
+    std::ostringstream os;
+    TablePrinter t(os, {"a", "b"});
+    EXPECT_THROW(t.row({"only-one"}), PanicError);
+}
+
+TEST(TablePrinter, GapEmitsBlankLine)
+{
+    std::ostringstream os;
+    TablePrinter t(os, {"a"});
+    t.gap();
+    EXPECT_NE(os.str().find("\n\n"), std::string::npos);
+}
+
+TEST(Format, FixedPrecision)
+{
+    EXPECT_EQ(fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(norm(0.5), "0.500");
+    EXPECT_EQ(norm(1.0), "1.000");
+}
+
+} // namespace
+} // namespace cbsim

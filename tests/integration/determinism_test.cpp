@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Determinism: a run is a pure function of its configuration — same
+ * profile + technique => bit-identical metrics. This underpins every
+ * cross-technique comparison in the benches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace cbsim {
+namespace {
+
+void
+expectIdentical(const RunResult& a, const RunResult& b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.llcAccesses, b.llcAccesses);
+    EXPECT_EQ(a.llcSyncAccesses, b.llcSyncAccesses);
+    EXPECT_EQ(a.l1Accesses, b.l1Accesses);
+    EXPECT_EQ(a.flitHops, b.flitHops);
+    EXPECT_EQ(a.packets, b.packets);
+    EXPECT_EQ(a.memReads, b.memReads);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cbWakeups, b.cbWakeups);
+}
+
+TEST(Determinism, RepeatedRunsAreBitIdentical)
+{
+    Profile p = scaled(benchmark("ocean"), 0.25);
+    p.phases = 2;
+    for (Technique t :
+         {Technique::Invalidation, Technique::BackOff10,
+          Technique::CbAll, Technique::CbOne}) {
+        auto a = runExperiment(p, t, 16);
+        auto b = runExperiment(p, t, 16);
+        expectIdentical(a.run, b.run);
+    }
+}
+
+TEST(Determinism, DifferentSeedsChangeTheWorkload)
+{
+    Profile p = scaled(benchmark("ocean"), 0.25);
+    p.phases = 2;
+    auto a = runExperiment(p, Technique::CbOne, 16);
+    p.seed ^= 0x1234;
+    auto b = runExperiment(p, Technique::CbOne, 16);
+    EXPECT_NE(a.run.cycles, b.run.cycles);
+}
+
+TEST(Determinism, SyncMicroIsDeterministic)
+{
+    auto a = runSyncMicro(SyncMicro::ClhLock, Technique::CbOne, 16, 5);
+    auto b = runSyncMicro(SyncMicro::ClhLock, Technique::CbOne, 16, 5);
+    expectIdentical(a.run, b.run);
+}
+
+} // namespace
+} // namespace cbsim

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Cross-technique behavioural properties — the qualitative claims of the
+ * paper's evaluation, asserted as inequalities on a contended micro
+ * workload: LLC spinning floods the LLC, back-off trades LLC accesses
+ * for latency, callbacks avoid both, MESI spins in the L1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace cbsim {
+namespace {
+
+struct MicroResults
+{
+    ExperimentResult backoff0, backoff15, cbAll, cbOne, inval;
+};
+
+MicroResults
+runAll(SyncMicro micro, unsigned iterations,
+       std::uint64_t work_between = 2500)
+{
+    MicroResults r;
+    r.inval = runSyncMicro(micro, Technique::Invalidation, 16,
+                           iterations, work_between);
+    r.backoff0 = runSyncMicro(micro, Technique::BackOff0, 16, iterations,
+                              work_between);
+    r.backoff15 = runSyncMicro(micro, Technique::BackOff15, 16,
+                               iterations, work_between);
+    r.cbAll = runSyncMicro(micro, Technique::CbAll, 16, iterations,
+                           work_between);
+    r.cbOne = runSyncMicro(micro, Technique::CbOne, 16, iterations,
+                           work_between);
+    return r;
+}
+
+TEST(Techniques, LlcSpinningFloodsTheLlcOnLocks)
+{
+    // Short inter-acquire work => the lock saturates and waiters spend
+    // most of their time spin-waiting (the paper's Figure 1 regime).
+    auto ttas = runAll(SyncMicro::TtasLock, 6, /*work_between=*/300);
+    // BackOff-0 spins on the LLC: far more sync LLC accesses than the
+    // callback variants (Fig. 1 / Fig. 20 LLC-accesses panel).
+    EXPECT_GT(ttas.backoff0.run.llcSyncAccesses,
+              4 * ttas.cbOne.run.llcSyncAccesses);
+    // Under a contended T&T&S, MESI pays its own storm of refetch GetS
+    // per hand-off, so the margin over Invalidation is clearest on the
+    // queue lock, where each hand-off invalidates exactly one spinner.
+    auto clh = runAll(SyncMicro::ClhLock, 6, /*work_between=*/300);
+    EXPECT_GT(clh.backoff0.run.llcSyncAccesses,
+              4 * clh.inval.run.llcSyncAccesses);
+    EXPECT_GT(ttas.backoff0.run.llcSyncAccesses,
+              ttas.inval.run.llcSyncAccesses);
+}
+
+TEST(Techniques, BackoffTradesLlcAccessesForLatency)
+{
+    auto r = runAll(SyncMicro::TtasLock, 6);
+    // More exponentiations => fewer LLC accesses but no faster finish.
+    EXPECT_LT(r.backoff15.run.llcSyncAccesses,
+              r.backoff0.run.llcSyncAccesses);
+    EXPECT_GE(r.backoff15.run.cycles, r.backoff0.run.cycles);
+}
+
+TEST(Techniques, CallbacksMatchBackoffTimeWithoutTraffic)
+{
+    auto r = runAll(SyncMicro::ClhLock, 6);
+    // Callbacks: execution time no worse than the best back-off, with
+    // fewer sync LLC accesses than any spinning variant.
+    EXPECT_LE(r.cbOne.run.cycles, r.backoff15.run.cycles);
+    EXPECT_LT(r.cbOne.run.llcSyncAccesses,
+              r.backoff0.run.llcSyncAccesses);
+    EXPECT_LT(r.cbOne.run.llcSyncAccesses,
+              r.backoff15.run.llcSyncAccesses);
+}
+
+TEST(Techniques, MesiSpinsInTheL1)
+{
+    auto r = runAll(SyncMicro::TreeBarrier, 4);
+    // Invalidation's spin hits stay in the L1.
+    EXPECT_GT(r.inval.run.l1Accesses, 4 * r.cbAll.run.l1Accesses);
+    EXPECT_LT(r.inval.run.llcSyncAccesses,
+              r.backoff0.run.llcSyncAccesses);
+}
+
+TEST(Techniques, CallbackOneAvoidsThunderingHerdOnLocks)
+{
+    auto r = runAll(SyncMicro::TtasLock, 6);
+    // CB-All wakes every waiter on release; only one wins. CB-One hands
+    // the lock to exactly one waiter (§2.4): fewer wake-ups and fewer
+    // LLC accesses.
+    EXPECT_LE(r.cbOne.run.cbWakeups, r.cbAll.run.cbWakeups);
+    EXPECT_LE(r.cbOne.run.llcSyncAccesses,
+              r.cbAll.run.llcSyncAccesses);
+}
+
+TEST(Techniques, CallbacksCutNetworkTrafficVsBackoff0)
+{
+    auto r = runAll(SyncMicro::SrBarrier, 4);
+    EXPECT_LT(r.cbAll.run.flitHops, r.backoff0.run.flitHops);
+}
+
+TEST(Techniques, WakeupsOnlyHappenWithCallbacks)
+{
+    auto r = runAll(SyncMicro::SignalWait, 6);
+    EXPECT_EQ(r.inval.run.cbWakeups, 0u);
+    EXPECT_EQ(r.backoff0.run.cbWakeups, 0u);
+    EXPECT_GT(r.cbOne.run.cbWakeups, 0u);
+}
+
+TEST(Techniques, EnergyModelTracksComponents)
+{
+    auto r = runAll(SyncMicro::TtasLock, 5);
+    // Invalidation burns L1 energy (local spinning); BackOff-0 shifts
+    // energy to LLC + network (Fig. 22's qualitative story).
+    EXPECT_GT(r.inval.energy.l1, r.cbOne.energy.l1);
+    EXPECT_GT(r.backoff0.energy.llc + r.backoff0.energy.network,
+              r.cbOne.energy.llc + r.cbOne.energy.network);
+    EXPECT_GT(r.cbOne.energy.onChip(), 0.0);
+}
+
+TEST(Techniques, CallbackDirectorySizeBarelyMatters)
+{
+    // §5.2: 4 vs 16 vs 64 entries/bank show no noticeable change.
+    auto p = scaled(benchmark("radiosity"), 0.25);
+    p.phases = 2;
+    auto e4 = runExperiment(p, Technique::CbOne, 16,
+                            SyncChoice::scalable(), 4);
+    auto e64 = runExperiment(p, Technique::CbOne, 16,
+                             SyncChoice::scalable(), 64);
+    const double ratio = static_cast<double>(e4.run.cycles) /
+                         static_cast<double>(e64.run.cycles);
+    EXPECT_NEAR(ratio, 1.0, 0.1);
+}
+
+} // namespace
+} // namespace cbsim

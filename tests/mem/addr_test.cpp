@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Address-arithmetic tests: alignment, word indexing, bank interleaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/addr.hh"
+
+namespace cbsim {
+namespace {
+
+TEST(AddrLayout, Alignment)
+{
+    EXPECT_EQ(AddrLayout::wordAlign(0x1007), 0x1000u);
+    EXPECT_EQ(AddrLayout::wordAlign(0x1008), 0x1008u);
+    EXPECT_EQ(AddrLayout::lineAlign(0x10ff), 0x10c0u);
+    EXPECT_EQ(AddrLayout::pageAlign(0x12345), 0x12000u);
+}
+
+TEST(AddrLayout, WordInLine)
+{
+    EXPECT_EQ(AddrLayout::wordInLine(0x1000), 0u);
+    EXPECT_EQ(AddrLayout::wordInLine(0x1008), 1u);
+    EXPECT_EQ(AddrLayout::wordInLine(0x1038), 7u);
+    EXPECT_EQ(AddrLayout::wordInLine(0x1040), 0u); // next line wraps
+    EXPECT_EQ(AddrLayout::wordInLine(0x100c), 1u); // intra-word offset
+}
+
+TEST(AddrLayout, LineAndPageNumbers)
+{
+    EXPECT_EQ(AddrLayout::lineNumber(0x0), 0u);
+    EXPECT_EQ(AddrLayout::lineNumber(0x40), 1u);
+    EXPECT_EQ(AddrLayout::pageNumber(0xfff), 0u);
+    EXPECT_EQ(AddrLayout::pageNumber(0x1000), 1u);
+}
+
+TEST(AddrLayout, BankInterleavesByLine)
+{
+    // Consecutive lines go to consecutive banks.
+    for (unsigned i = 0; i < 128; ++i) {
+        EXPECT_EQ(AddrLayout::bankOf(i * 64, 64), i % 64);
+    }
+    // All words of one line share a bank.
+    for (unsigned w = 0; w < 8; ++w)
+        EXPECT_EQ(AddrLayout::bankOf(0x1c0 + w * 8, 64),
+                  AddrLayout::bankOf(0x1c0, 64));
+}
+
+TEST(AddrLayout, BankOfZeroBanksIsBug)
+{
+    EXPECT_THROW(AddrLayout::bankOf(0x1000, 0), PanicError);
+}
+
+} // namespace
+} // namespace cbsim

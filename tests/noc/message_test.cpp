@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Message sizing tests: the flit counts behind the paper's traffic
+ * accounting (control = 1 flit, full line = 5 flits, word = 1 flit).
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/message.hh"
+
+namespace cbsim {
+namespace {
+
+constexpr unsigned flitB = 16, hdrB = 8, lineB = 64;
+
+unsigned
+flitsOf(MsgType t, std::uint32_t word_mask = 0)
+{
+    Message m;
+    m.type = t;
+    m.wordMask = word_mask;
+    return m.flits(flitB, hdrB, lineB);
+}
+
+TEST(Message, ControlMessagesAreOneFlit)
+{
+    for (MsgType t : {MsgType::GetS, MsgType::GetX, MsgType::Inv,
+                      MsgType::InvAck, MsgType::FwdGetS, MsgType::FwdGetX,
+                      MsgType::LdThrough, MsgType::GetCB, MsgType::Ack}) {
+        EXPECT_EQ(flitsOf(t), 1u) << msgTypeName(t);
+    }
+}
+
+TEST(Message, LineMessagesAreFiveFlits)
+{
+    // 8 B header + 64 B line = 72 B -> ceil(72/16) = 5 flits.
+    EXPECT_EQ(flitsOf(MsgType::Data), 5u);
+    EXPECT_EQ(flitsOf(MsgType::PutM), 5u);
+}
+
+TEST(Message, WordMessagesAreOneFlit)
+{
+    // 8 B header + 8 B word = 16 B -> exactly one flit. This is why the
+    // callback hand-off {GetCB, write, wake} moves only 3 flits.
+    for (MsgType t : {MsgType::StThrough, MsgType::StCb1, MsgType::StCb0,
+                      MsgType::AtomicReq, MsgType::DataWord,
+                      MsgType::WakeUp}) {
+        EXPECT_EQ(flitsOf(t), 1u) << msgTypeName(t);
+    }
+}
+
+TEST(Message, WtFlushScalesWithDirtyWords)
+{
+    EXPECT_EQ(flitsOf(MsgType::WtFlush, 0b1), 1u);       // 16 B
+    EXPECT_EQ(flitsOf(MsgType::WtFlush, 0b11), 2u);      // 24 B
+    EXPECT_EQ(flitsOf(MsgType::WtFlush, 0xff), 5u);      // 72 B
+}
+
+TEST(Message, CarriesLine)
+{
+    EXPECT_TRUE(carriesLine(MsgType::Data));
+    EXPECT_TRUE(carriesLine(MsgType::PutM));
+    EXPECT_FALSE(carriesLine(MsgType::WakeUp));
+    EXPECT_FALSE(carriesLine(MsgType::GetS));
+}
+
+TEST(Message, ToStringIsInformative)
+{
+    Message m;
+    m.type = MsgType::GetCB;
+    m.src = 3;
+    m.dst = 9;
+    m.addr = 0x1000;
+    const auto s = m.toString();
+    EXPECT_NE(s.find("GetCB"), std::string::npos);
+    EXPECT_NE(s.find("1000"), std::string::npos);
+}
+
+} // namespace
+} // namespace cbsim

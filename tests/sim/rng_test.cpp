@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the deterministic RNG: reproducibility, bounds, and rough
+ * uniformity (enough to trust workload generation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace cbsim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng r(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(13);
+    double sum = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng r(17);
+    std::vector<int> buckets(8, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[r.below(8)];
+    for (int b : buckets)
+        EXPECT_NEAR(b, n / 8, n / 80);
+}
+
+TEST(Rng, JitterStaysWithinSpread)
+{
+    Rng r(19);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.jitter(1000, 0.25);
+        EXPECT_GE(v, 750u);
+        EXPECT_LE(v, 1250u);
+    }
+}
+
+TEST(Rng, JitterZeroSpreadIsIdentity)
+{
+    Rng r(21);
+    EXPECT_EQ(r.jitter(500, 0.0), 500u);
+    EXPECT_EQ(r.jitter(0, 0.5), 0u);
+}
+
+TEST(Rng, JitterNeverReturnsZeroForPositiveMean)
+{
+    Rng r(23);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(r.jitter(2, 0.9), 1u);
+}
+
+} // namespace
+} // namespace cbsim

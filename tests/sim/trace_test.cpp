@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tracer tests: category gating, line filtering, sink redirection, and
+ * end-to-end emission from a real simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../support/chip_helpers.hh"
+#include "sim/trace.hh"
+
+namespace cbsim {
+namespace {
+
+struct TracerFixture : ::testing::Test
+{
+    void SetUp() override { Tracer::instance().reset(); }
+    void TearDown() override { Tracer::instance().reset(); }
+};
+
+TEST_F(TracerFixture, DisabledByDefault)
+{
+    std::ostringstream os;
+    Tracer::instance().setSink(&os);
+    CBSIM_TRACE(TraceCategory::L1, 5, 0x1000, "should not appear");
+    EXPECT_TRUE(os.str().empty());
+    EXPECT_EQ(Tracer::instance().eventsEmitted(), 0u);
+}
+
+TEST_F(TracerFixture, CategoryGating)
+{
+    std::ostringstream os;
+    auto& t = Tracer::instance();
+    t.setSink(&os);
+    t.enable(TraceCategory::Llc);
+    CBSIM_TRACE(TraceCategory::L1, 1, 0x1000, "l1 event");
+    CBSIM_TRACE(TraceCategory::Llc, 2, 0x1000, "llc event");
+    EXPECT_EQ(os.str().find("l1 event"), std::string::npos);
+    EXPECT_NE(os.str().find("llc event"), std::string::npos);
+    EXPECT_NE(os.str().find("[2]"), std::string::npos);
+}
+
+TEST_F(TracerFixture, LineFilter)
+{
+    std::ostringstream os;
+    auto& t = Tracer::instance();
+    t.setSink(&os);
+    t.enableAll();
+    t.setLineFilter(0x2000);
+    CBSIM_TRACE(TraceCategory::L1, 1, 0x1000, "other line");
+    CBSIM_TRACE(TraceCategory::L1, 2, 0x2008, "same line");
+    EXPECT_EQ(os.str().find("other line"), std::string::npos);
+    EXPECT_NE(os.str().find("same line"), std::string::npos);
+}
+
+TEST_F(TracerFixture, EndToEndSimulationEmitsEvents)
+{
+    std::ostringstream os;
+    auto& t = Tracer::instance();
+    t.setSink(&os);
+    t.enable(TraceCategory::Llc);
+    t.enable(TraceCategory::CbDir);
+
+    Chip chip(testConfig(Technique::CbAll, 4));
+    idleAll(chip);
+    Assembler w;
+    w.workImm(3000);
+    w.movImm(1, 0x10000);
+    w.stThroughImm(1, 1);
+    chip.setProgram(0, w.assemble());
+    Assembler s;
+    s.movImm(1, 0x10000);
+    s.label("spn");
+    s.ldCb(2, 1);
+    s.beqz(2, "spn");
+    chip.setProgram(1, s.assemble());
+    chip.run();
+
+    EXPECT_NE(os.str().find("dispatch"), std::string::npos);
+    EXPECT_NE(os.str().find("wake core 1"), std::string::npos);
+    EXPECT_GT(t.eventsEmitted(), 3u);
+}
+
+TEST_F(TracerFixture, CategoryNames)
+{
+    EXPECT_STREQ(traceCategoryName(TraceCategory::CbDir), "cbdir");
+    EXPECT_STREQ(traceCategoryName(TraceCategory::Noc), "noc");
+}
+
+} // namespace
+} // namespace cbsim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared helpers for full-chip protocol and sync tests: small-mesh chip
+ * construction and typed access to protocol controllers.
+ */
+
+#ifndef CBSIM_TESTS_SUPPORT_CHIP_HELPERS_HH
+#define CBSIM_TESTS_SUPPORT_CHIP_HELPERS_HH
+
+#include <memory>
+
+#include "system/chip.hh"
+
+namespace cbsim {
+
+/** A chip config with @p cores cores (perfect square) for a technique. */
+inline ChipConfig
+testConfig(Technique t, unsigned cores = 4)
+{
+    ChipConfig cfg = ChipConfig::forTechnique(t, cores);
+    cfg.maxTicks = 50'000'000ULL; // tight deadlock guard for tests
+    return cfg;
+}
+
+/** Typed accessors (fatal on protocol mismatch). */
+inline MesiL1&
+mesiL1(Chip& chip, CoreId i)
+{
+    auto* p = dynamic_cast<MesiL1*>(&chip.l1(i));
+    if (!p)
+        fatal("not a MESI chip");
+    return *p;
+}
+
+inline VipsL1&
+vipsL1(Chip& chip, CoreId i)
+{
+    auto* p = dynamic_cast<VipsL1*>(&chip.l1(i));
+    if (!p)
+        fatal("not a VIPS chip");
+    return *p;
+}
+
+inline MesiLlcBank&
+mesiBank(Chip& chip, BankId i)
+{
+    auto* p = dynamic_cast<MesiLlcBank*>(&chip.bank(i));
+    if (!p)
+        fatal("not a MESI chip");
+    return *p;
+}
+
+inline VipsLlcBank&
+vipsBank(Chip& chip, BankId i)
+{
+    auto* p = dynamic_cast<VipsLlcBank*>(&chip.bank(i));
+    if (!p)
+        fatal("not a VIPS chip");
+    return *p;
+}
+
+/** An idle program for cores not participating in a test. */
+inline Program
+idleProgram()
+{
+    Assembler a;
+    return a.assemble();
+}
+
+/** Fill every core with idle programs, then overwrite participants. */
+inline void
+idleAll(Chip& chip)
+{
+    for (CoreId i = 0; i < chip.config().numCores; ++i)
+        chip.setProgram(i, idleProgram());
+}
+
+} // namespace cbsim
+
+#endif // CBSIM_TESTS_SUPPORT_CHIP_HELPERS_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Test double: an L1 controller that serves every request functionally
+ * from a DataStore after a fixed latency, with no network or protocol.
+ * Lets core/ISA tests run without building a whole chip.
+ */
+
+#ifndef CBSIM_TESTS_SUPPORT_MAGIC_L1_HH
+#define CBSIM_TESTS_SUPPORT_MAGIC_L1_HH
+
+#include <vector>
+
+#include "coherence/controller.hh"
+#include "mem/data_store.hh"
+
+namespace cbsim {
+
+class MagicL1 : public L1Controller
+{
+  public:
+    MagicL1(EventQueue& eq, DataStore& data, Tick latency = 1)
+        : eq_(eq), data_(data), latency_(latency)
+    {
+    }
+
+    void
+    access(MemRequest req) override
+    {
+        ops.push_back(req.op);
+        Word result = 0;
+        switch (req.op) {
+          case MemOp::Load:
+          case MemOp::LdThrough:
+          case MemOp::LdCb:
+            result = data_.read(req.addr);
+            break;
+          case MemOp::Store:
+          case MemOp::StThrough:
+          case MemOp::StCb1:
+          case MemOp::StCb0:
+            data_.write(req.addr, req.storeValue);
+            break;
+          case MemOp::Atomic: {
+            const Word old = data_.read(req.addr);
+            const auto out =
+                evalAtomic(req.func, old, req.operand, req.compare);
+            if (out.doWrite)
+                data_.write(req.addr, out.newValue);
+            result = old;
+            break;
+          }
+        }
+        eq_.schedule(latency_,
+                     [cb = std::move(req.onComplete), result] {
+                         cb(result);
+                     });
+    }
+
+    void
+    selfInvalidate(FenceCompletion done) override
+    {
+        ++selfInvls;
+        eq_.schedule(1, std::move(done));
+    }
+
+    void
+    selfDowngrade(FenceCompletion done) override
+    {
+        ++selfDowns;
+        eq_.schedule(1, std::move(done));
+    }
+
+    void handleMessage(const Message&) override {}
+
+    std::vector<MemOp> ops;
+    int selfInvls = 0;
+    int selfDowns = 0;
+
+  private:
+    EventQueue& eq_;
+    DataStore& data_;
+    Tick latency_;
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_TESTS_SUPPORT_MAGIC_L1_HH

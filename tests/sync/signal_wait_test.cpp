@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Signal/wait tests (Figures 18-19): token conservation, one-to-one and
+ * one-to-many signaling, pipelines, and the callback-one optimization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../support/chip_helpers.hh"
+#include "sync/signal_wait.hh"
+
+namespace cbsim {
+namespace {
+
+Technique
+techniqueFor(SyncFlavor f)
+{
+    switch (f) {
+      case SyncFlavor::Mesi: return Technique::Invalidation;
+      case SyncFlavor::VipsBackoff: return Technique::BackOff5;
+      case SyncFlavor::CbAll: return Technique::CbAll;
+      case SyncFlavor::CbOne: return Technique::CbOne;
+    }
+    return Technique::Invalidation;
+}
+
+struct SignalWaitTest : ::testing::TestWithParam<SyncFlavor>
+{
+    SyncFlavor flavor = GetParam();
+};
+
+TEST_P(SignalWaitTest, OneToOneTokensAreConserved)
+{
+    constexpr unsigned tokens = 10;
+    Chip chip(testConfig(techniqueFor(flavor), 4));
+    idleAll(chip);
+    SyncLayout layout;
+    SignalHandle sig = makeSignal(layout);
+
+    Assembler producer;
+    for (unsigned i = 0; i < tokens; ++i) {
+        producer.workImm(150 + i * 37 % 211);
+        emitSignal(producer, sig, flavor);
+    }
+    chip.setProgram(0, producer.assemble());
+
+    Assembler consumer;
+    for (unsigned i = 0; i < tokens; ++i) {
+        emitWait(consumer, sig, flavor);
+        consumer.workImm(90);
+    }
+    chip.setProgram(1, consumer.assemble());
+
+    layout.apply(chip.dataStore());
+    auto result = chip.run();
+    EXPECT_EQ(chip.dataStore().read(sig.counter), 0u);
+    const auto wk = static_cast<std::size_t>(SyncKind::Wait);
+    const auto sk = static_cast<std::size_t>(SyncKind::Signal);
+    EXPECT_EQ(result.sync[wk].completions, tokens);
+    EXPECT_EQ(result.sync[sk].completions, tokens);
+}
+
+TEST_P(SignalWaitTest, OneSignalerManyWaiters)
+{
+    constexpr unsigned waiters = 3;
+    constexpr unsigned rounds = 5;
+    Chip chip(testConfig(techniqueFor(flavor), 4));
+    SyncLayout layout;
+    SignalHandle sig = makeSignal(layout);
+
+    Assembler producer;
+    for (unsigned r = 0; r < rounds * waiters; ++r) {
+        producer.workImm(200);
+        emitSignal(producer, sig, flavor);
+    }
+    chip.setProgram(0, producer.assemble());
+
+    for (CoreId t = 1; t <= waiters; ++t) {
+        Assembler consumer;
+        consumer.workImm(t * 13);
+        for (unsigned r = 0; r < rounds; ++r) {
+            emitWait(consumer, sig, flavor);
+            consumer.workImm(60);
+        }
+        chip.setProgram(t, consumer.assemble());
+    }
+    layout.apply(chip.dataStore());
+    chip.run();
+    EXPECT_EQ(chip.dataStore().read(sig.counter), 0u);
+}
+
+TEST_P(SignalWaitTest, PipelineChainCompletes)
+{
+    constexpr unsigned stages = 4;
+    constexpr unsigned items = 6;
+    Chip chip(testConfig(techniqueFor(flavor), stages));
+    SyncLayout layout;
+    std::vector<SignalHandle> sig;
+    for (unsigned s = 0; s < stages; ++s)
+        sig.push_back(makeSignal(layout));
+
+    for (CoreId t = 0; t < stages; ++t) {
+        Assembler a;
+        for (unsigned i = 0; i < items; ++i) {
+            if (t > 0)
+                emitWait(a, sig[t], flavor);
+            a.workImm(120);
+            if (t + 1 < stages)
+                emitSignal(a, sig[t + 1], flavor);
+        }
+        chip.setProgram(t, a.assemble());
+    }
+    layout.apply(chip.dataStore());
+    chip.run(); // termination = no lost tokens anywhere in the chain
+    for (unsigned s = 1; s < stages; ++s)
+        EXPECT_EQ(chip.dataStore().read(sig[s].counter), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFlavors, SignalWaitTest,
+    ::testing::Values(SyncFlavor::Mesi, SyncFlavor::VipsBackoff,
+                      SyncFlavor::CbAll, SyncFlavor::CbOne),
+    [](const ::testing::TestParamInfo<SyncFlavor>& info) {
+        std::string name = syncFlavorName(info.param);
+        for (auto& ch : name) {
+            if (!isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        }
+        return name;
+    });
+
+TEST(SignalWaitTraffic, CallbackWaitIsQuiet)
+{
+    auto run = [](Technique tech, SyncFlavor flavor) {
+        Chip chip(testConfig(tech, 4));
+        idleAll(chip);
+        SyncLayout layout;
+        SignalHandle sig = makeSignal(layout);
+        Assembler p;
+        p.workImm(25000); // waiter idles a long time
+        emitSignal(p, sig, flavor);
+        chip.setProgram(0, p.assemble());
+        Assembler c;
+        emitWait(c, sig, flavor);
+        chip.setProgram(1, c.assemble());
+        layout.apply(chip.dataStore());
+        return chip.run().llcSyncAccesses;
+    };
+    const auto spinning = run(Technique::BackOff0,
+                              SyncFlavor::VipsBackoff);
+    const auto callback = run(Technique::CbOne, SyncFlavor::CbOne);
+    EXPECT_GT(spinning, 10 * callback);
+}
+
+} // namespace
+} // namespace cbsim
