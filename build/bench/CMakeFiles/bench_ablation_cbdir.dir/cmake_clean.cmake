@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cbdir.dir/ablation_cbdir.cpp.o"
+  "CMakeFiles/bench_ablation_cbdir.dir/ablation_cbdir.cpp.o.d"
+  "bench_ablation_cbdir"
+  "bench_ablation_cbdir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cbdir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

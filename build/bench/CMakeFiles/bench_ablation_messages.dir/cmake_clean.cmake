@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_messages.dir/ablation_messages.cpp.o"
+  "CMakeFiles/bench_ablation_messages.dir/ablation_messages.cpp.o.d"
+  "bench_ablation_messages"
+  "bench_ablation_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

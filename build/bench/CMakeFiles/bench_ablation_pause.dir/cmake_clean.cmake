@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pause.dir/ablation_pause.cpp.o"
+  "CMakeFiles/bench_ablation_pause.dir/ablation_pause.cpp.o.d"
+  "bench_ablation_pause"
+  "bench_ablation_pause.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pause.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_sync.dir/fig20_sync.cpp.o"
+  "CMakeFiles/bench_fig20_sync.dir/fig20_sync.cpp.o.d"
+  "bench_fig20_sync"
+  "bench_fig20_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_apps.dir/fig21_apps.cpp.o"
+  "CMakeFiles/bench_fig21_apps.dir/fig21_apps.cpp.o.d"
+  "bench_fig21_apps"
+  "bench_fig21_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

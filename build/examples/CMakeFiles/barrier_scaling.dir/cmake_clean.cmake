@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_scaling.dir/barrier_scaling.cpp.o"
+  "CMakeFiles/barrier_scaling.dir/barrier_scaling.cpp.o.d"
+  "barrier_scaling"
+  "barrier_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/callback_walkthrough.dir/callback_walkthrough.cpp.o"
+  "CMakeFiles/callback_walkthrough.dir/callback_walkthrough.cpp.o.d"
+  "callback_walkthrough"
+  "callback_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/callback_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

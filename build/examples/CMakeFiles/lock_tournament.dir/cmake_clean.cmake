@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_tournament.dir/lock_tournament.cpp.o"
+  "CMakeFiles/lock_tournament.dir/lock_tournament.cpp.o.d"
+  "lock_tournament"
+  "lock_tournament.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_tournament.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

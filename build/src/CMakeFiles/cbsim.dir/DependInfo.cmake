@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/backoff/backoff.cc" "src/CMakeFiles/cbsim.dir/coherence/backoff/backoff.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/coherence/backoff/backoff.cc.o.d"
+  "/root/repo/src/coherence/callback/callback_directory.cc" "src/CMakeFiles/cbsim.dir/coherence/callback/callback_directory.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/coherence/callback/callback_directory.cc.o.d"
+  "/root/repo/src/coherence/controller.cc" "src/CMakeFiles/cbsim.dir/coherence/controller.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/coherence/controller.cc.o.d"
+  "/root/repo/src/coherence/mem_request.cc" "src/CMakeFiles/cbsim.dir/coherence/mem_request.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/coherence/mem_request.cc.o.d"
+  "/root/repo/src/coherence/mesi/mesi_l1.cc" "src/CMakeFiles/cbsim.dir/coherence/mesi/mesi_l1.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/coherence/mesi/mesi_l1.cc.o.d"
+  "/root/repo/src/coherence/mesi/mesi_llc.cc" "src/CMakeFiles/cbsim.dir/coherence/mesi/mesi_llc.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/coherence/mesi/mesi_llc.cc.o.d"
+  "/root/repo/src/coherence/vips/page_classifier.cc" "src/CMakeFiles/cbsim.dir/coherence/vips/page_classifier.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/coherence/vips/page_classifier.cc.o.d"
+  "/root/repo/src/coherence/vips/vips_l1.cc" "src/CMakeFiles/cbsim.dir/coherence/vips/vips_l1.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/coherence/vips/vips_l1.cc.o.d"
+  "/root/repo/src/coherence/vips/vips_llc.cc" "src/CMakeFiles/cbsim.dir/coherence/vips/vips_llc.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/coherence/vips/vips_llc.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/CMakeFiles/cbsim.dir/core/core.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/core/core.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/cbsim.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/cbsim.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/table.cc" "src/CMakeFiles/cbsim.dir/harness/table.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/harness/table.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/cbsim.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/cbsim.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/mem/cache_array.cc" "src/CMakeFiles/cbsim.dir/mem/cache_array.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/mem/cache_array.cc.o.d"
+  "/root/repo/src/mem/data_store.cc" "src/CMakeFiles/cbsim.dir/mem/data_store.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/mem/data_store.cc.o.d"
+  "/root/repo/src/mem/memory_model.cc" "src/CMakeFiles/cbsim.dir/mem/memory_model.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/mem/memory_model.cc.o.d"
+  "/root/repo/src/mem/mshr.cc" "src/CMakeFiles/cbsim.dir/mem/mshr.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/mem/mshr.cc.o.d"
+  "/root/repo/src/noc/mesh.cc" "src/CMakeFiles/cbsim.dir/noc/mesh.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/noc/mesh.cc.o.d"
+  "/root/repo/src/noc/message.cc" "src/CMakeFiles/cbsim.dir/noc/message.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/noc/message.cc.o.d"
+  "/root/repo/src/noc/router.cc" "src/CMakeFiles/cbsim.dir/noc/router.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/noc/router.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/cbsim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/log.cc" "src/CMakeFiles/cbsim.dir/sim/log.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/sim/log.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/cbsim.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/cbsim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/sim/trace.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/cbsim.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/stats/stats.cc.o.d"
+  "/root/repo/src/sync/barriers.cc" "src/CMakeFiles/cbsim.dir/sync/barriers.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/sync/barriers.cc.o.d"
+  "/root/repo/src/sync/layout.cc" "src/CMakeFiles/cbsim.dir/sync/layout.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/sync/layout.cc.o.d"
+  "/root/repo/src/sync/locks.cc" "src/CMakeFiles/cbsim.dir/sync/locks.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/sync/locks.cc.o.d"
+  "/root/repo/src/sync/signal_wait.cc" "src/CMakeFiles/cbsim.dir/sync/signal_wait.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/sync/signal_wait.cc.o.d"
+  "/root/repo/src/system/chip.cc" "src/CMakeFiles/cbsim.dir/system/chip.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/system/chip.cc.o.d"
+  "/root/repo/src/system/chip_config.cc" "src/CMakeFiles/cbsim.dir/system/chip_config.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/system/chip_config.cc.o.d"
+  "/root/repo/src/system/run_result.cc" "src/CMakeFiles/cbsim.dir/system/run_result.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/system/run_result.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/cbsim.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/workload/profile.cc.o.d"
+  "/root/repo/src/workload/program_gen.cc" "src/CMakeFiles/cbsim.dir/workload/program_gen.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/workload/program_gen.cc.o.d"
+  "/root/repo/src/workload/suite.cc" "src/CMakeFiles/cbsim.dir/workload/suite.cc.o" "gcc" "src/CMakeFiles/cbsim.dir/workload/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coherence/backoff_test.cpp" "tests/CMakeFiles/callback_test.dir/coherence/backoff_test.cpp.o" "gcc" "tests/CMakeFiles/callback_test.dir/coherence/backoff_test.cpp.o.d"
+  "/root/repo/tests/coherence/callback_directory_test.cpp" "tests/CMakeFiles/callback_test.dir/coherence/callback_directory_test.cpp.o" "gcc" "tests/CMakeFiles/callback_test.dir/coherence/callback_directory_test.cpp.o.d"
+  "/root/repo/tests/coherence/page_classifier_test.cpp" "tests/CMakeFiles/callback_test.dir/coherence/page_classifier_test.cpp.o" "gcc" "tests/CMakeFiles/callback_test.dir/coherence/page_classifier_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_test.dir/harness/energy_test.cpp.o"
+  "CMakeFiles/harness_test.dir/harness/energy_test.cpp.o.d"
+  "CMakeFiles/harness_test.dir/harness/experiment_test.cpp.o"
+  "CMakeFiles/harness_test.dir/harness/experiment_test.cpp.o.d"
+  "CMakeFiles/harness_test.dir/harness/run_result_test.cpp.o"
+  "CMakeFiles/harness_test.dir/harness/run_result_test.cpp.o.d"
+  "CMakeFiles/harness_test.dir/harness/table_test.cpp.o"
+  "CMakeFiles/harness_test.dir/harness/table_test.cpp.o.d"
+  "harness_test"
+  "harness_test.pdb"
+  "harness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

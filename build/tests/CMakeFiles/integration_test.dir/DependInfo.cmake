@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/determinism_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/determinism_test.cpp.o.d"
+  "/root/repo/tests/integration/fuzz_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/fuzz_test.cpp.o.d"
+  "/root/repo/tests/integration/scale_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/scale_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/scale_test.cpp.o.d"
+  "/root/repo/tests/integration/stress_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/stress_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/stress_test.cpp.o.d"
+  "/root/repo/tests/integration/techniques_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/techniques_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/techniques_test.cpp.o.d"
+  "/root/repo/tests/integration/workload_test.cpp" "tests/CMakeFiles/integration_test.dir/integration/workload_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

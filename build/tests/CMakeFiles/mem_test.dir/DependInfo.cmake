@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/addr_test.cpp" "tests/CMakeFiles/mem_test.dir/mem/addr_test.cpp.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/addr_test.cpp.o.d"
+  "/root/repo/tests/mem/cache_array_test.cpp" "tests/CMakeFiles/mem_test.dir/mem/cache_array_test.cpp.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/cache_array_test.cpp.o.d"
+  "/root/repo/tests/mem/data_store_test.cpp" "tests/CMakeFiles/mem_test.dir/mem/data_store_test.cpp.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/data_store_test.cpp.o.d"
+  "/root/repo/tests/mem/mshr_test.cpp" "tests/CMakeFiles/mem_test.dir/mem/mshr_test.cpp.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem/mshr_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cbsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

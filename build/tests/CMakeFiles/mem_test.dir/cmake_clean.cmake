@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_test.dir/mem/addr_test.cpp.o"
+  "CMakeFiles/mem_test.dir/mem/addr_test.cpp.o.d"
+  "CMakeFiles/mem_test.dir/mem/cache_array_test.cpp.o"
+  "CMakeFiles/mem_test.dir/mem/cache_array_test.cpp.o.d"
+  "CMakeFiles/mem_test.dir/mem/data_store_test.cpp.o"
+  "CMakeFiles/mem_test.dir/mem/data_store_test.cpp.o.d"
+  "CMakeFiles/mem_test.dir/mem/mshr_test.cpp.o"
+  "CMakeFiles/mem_test.dir/mem/mshr_test.cpp.o.d"
+  "mem_test"
+  "mem_test.pdb"
+  "mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_test.dir/sync/barriers_test.cpp.o"
+  "CMakeFiles/sync_test.dir/sync/barriers_test.cpp.o.d"
+  "CMakeFiles/sync_test.dir/sync/locks_test.cpp.o"
+  "CMakeFiles/sync_test.dir/sync/locks_test.cpp.o.d"
+  "CMakeFiles/sync_test.dir/sync/signal_wait_test.cpp.o"
+  "CMakeFiles/sync_test.dir/sync/signal_wait_test.cpp.o.d"
+  "sync_test"
+  "sync_test.pdb"
+  "sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
