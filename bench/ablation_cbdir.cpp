@@ -54,27 +54,24 @@ printTables()
                  "deviate.\n";
 }
 
-} // namespace
-} // namespace cbsim::bench
-
-int
-main(int argc, char** argv)
+void
+registerCells()
 {
-    using namespace cbsim;
-    using namespace cbsim::bench;
-    parseArgs(argc, argv);
-    // Keep the profile list alive for the duration of the benchmarks.
-    static const std::vector<Profile> profiles = quickSuite();
-    for (const auto& p : profiles) {
+    for (const auto& p : quickSuite()) {
         for (Technique t : {Technique::CbAll, Technique::CbOne}) {
             for (unsigned s : kSizes) {
-                registerCell(key(p.name, t, s), [&p, t, s] {
-                    return runExperiment(scaled(p, mode().scale), t,
-                                         mode().cores,
-                                         SyncChoice::scalable(), s);
-                });
+                registerJob(SweepJob::forProfile(
+                    key(p.name, t, s), scaled(p, mode().scale), t,
+                    mode().cores, SyncChoice::scalable(), s));
             }
         }
     }
-    return runAndPrint(argc, argv, printTables);
 }
+
+const BenchRegistrar reg({30, "ablation_cbdir",
+                          "§5.2 — callback-directory size sweep "
+                          "(1…256 entries/bank)",
+                          registerCells, printTables});
+
+} // namespace
+} // namespace cbsim::bench

@@ -115,18 +115,19 @@ printTables()
            "callback moves fewer, smaller messages (see flit-hops).\n";
 }
 
-} // namespace
-} // namespace cbsim::bench
-
-int
-main(int argc, char** argv)
+void
+registerCells()
 {
-    using namespace cbsim;
-    using namespace cbsim::bench;
-    parseArgs(argc, argv);
     for (Technique t : {Technique::Invalidation, Technique::CbOne}) {
         registerCell(std::string("messages/") + techniqueName(t),
                      [t] { return runHandoff(t); });
     }
-    return runAndPrint(argc, argv, printTables);
 }
+
+const BenchRegistrar reg({31, "ablation_messages",
+                          "§2.1 — messages per communicated value "
+                          "(5 vs 3)",
+                          registerCells, printTables});
+
+} // namespace
+} // namespace cbsim::bench

@@ -64,24 +64,22 @@ printTables()
            "most of their stall time is pausable.\n";
 }
 
-} // namespace
-} // namespace cbsim::bench
-
-int
-main(int argc, char** argv)
+void
+registerCells()
 {
-    using namespace cbsim;
-    using namespace cbsim::bench;
-    parseArgs(argc, argv);
-    static const std::vector<Profile> profiles = quickSuite();
-    for (const auto& p : profiles) {
+    for (const auto& p : quickSuite()) {
         for (Technique t : kTechniques) {
-            registerCell(key(p.name, t), [&p, t] {
-                return runExperiment(scaled(p, mode().scale), t,
-                                     mode().cores,
-                                     SyncChoice::scalable());
-            });
+            registerJob(SweepJob::forProfile(
+                key(p.name, t), scaled(p, mode().scale), t,
+                mode().cores, SyncChoice::scalable()));
         }
     }
-    return runAndPrint(argc, argv, printTables);
 }
+
+const BenchRegistrar reg({32, "ablation_pause",
+                          "§2.1 — pause-while-waiting core-energy "
+                          "saving",
+                          registerCells, printTables});
+
+} // namespace
+} // namespace cbsim::bench

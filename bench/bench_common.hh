@@ -1,18 +1,23 @@
 /**
  * @file
- * Shared plumbing for the figure-reproduction benches: each (workload x
- * technique) cell is registered as a google-benchmark with a single
- * iteration; results are cached and the paper-shaped table is printed
- * after the benchmark pass.
+ * Shared plumbing for the figure-reproduction benches.
  *
- * Every bench accepts --quick (16 cores, scaled-down workloads) for fast
- * smoke runs; the default configuration is the paper's 64-core system.
+ * Each bench source file is a *module*: it registers its simulation
+ * cells as declarative SweepJobs and provides a table printer. A shared
+ * driver (bench_main.cc) parses the command line, fans the collected
+ * jobs out across a SweepRunner worker pool (--jobs N, default: all
+ * hardware threads), writes one versioned JSON artifact per module to
+ * bench/results/ (schema: docs/RESULTS.md), and then prints the
+ * paper-shaped tables. Runs are bit-identical regardless of --jobs.
+ *
+ * Every binary accepts --quick (16 cores, scaled-down workloads) and
+ * --smoke (4 cores, tiny workloads, reduced suite — the ctest tier-2
+ * target); the default configuration is the paper's 64-core system.
+ * bench_all links every module and regenerates the whole paper.
  */
 
 #ifndef CBSIM_BENCH_BENCH_COMMON_HH
 #define CBSIM_BENCH_BENCH_COMMON_HH
-
-#include <benchmark/benchmark.h>
 
 #include <cstring>
 #include <functional>
@@ -22,84 +27,59 @@
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/result_sink.hh"
+#include "harness/sweep.hh"
 #include "harness/table.hh"
+#include "workload/suite.hh"
 
 namespace cbsim::bench {
 
-/** Global bench sizing, set by parseArgs. */
+/** Global bench sizing and driver options, set by benchMain. */
 struct BenchMode
 {
     unsigned cores = 64;
     double scale = 1.0;
     unsigned microIters = 20;
+
+    unsigned jobs = 0; ///< sweep worker threads; 0 = hardware threads
+    bool smoke = false;
+    bool writeJson = true;
+    std::string outDir = "bench/results";
 };
 
-inline BenchMode&
-mode()
-{
-    static BenchMode m;
-    return m;
-}
-
-/** Strip and apply --quick before google-benchmark sees argv. */
-inline void
-parseArgs(int& argc, char** argv)
-{
-    int out = 1;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--quick") == 0) {
-            mode().cores = 16;
-            mode().scale = 0.25;
-            mode().microIters = 6;
-        } else {
-            argv[out++] = argv[i];
-        }
-    }
-    argc = out;
-}
-
-/** Result cache keyed by a cell name chosen by the bench. */
-inline std::map<std::string, ExperimentResult>&
-cache()
-{
-    static std::map<std::string, ExperimentResult> c;
-    return c;
-}
+BenchMode& mode();
 
 /**
- * Register a single-iteration benchmark that runs @p fn once and
- * records throughput counters; the result lands in cache()[key].
+ * The application suite the full-size figures sweep: all 19 benchmarks
+ * normally, the reduced quick suite under --smoke.
  */
-inline void
-registerCell(const std::string& key,
-             std::function<ExperimentResult()> fn)
-{
-    benchmark::RegisterBenchmark(
-        key.c_str(),
-        [key, fn](benchmark::State& state) {
-            for (auto _ : state) {
-                auto res = fn();
-                state.counters["cycles"] =
-                    static_cast<double>(res.run.cycles);
-                state.counters["llc"] =
-                    static_cast<double>(res.run.llcAccesses);
-                state.counters["flit_hops"] =
-                    static_cast<double>(res.run.flitHops);
-                cache()[key] = std::move(res);
-            }
-        })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
-}
+const std::vector<Profile>& figSuite();
 
-inline const ExperimentResult&
-result(const std::string& key)
+/** One bench binary's worth of cells: registration + table printing. */
+struct BenchModule
 {
-    auto it = cache().find(key);
-    if (it == cache().end())
-        fatal("bench cell not run: ", key);
-    return it->second;
-}
+    int order = 0;     ///< presentation order across bench_all
+    std::string name;  ///< artifact stem, e.g. "fig20_sync"
+    std::string title; ///< one-line description (--list)
+    std::function<void()> registerCells;
+    std::function<void()> print;
+};
+
+/** Self-registration hook; define one per module at namespace scope. */
+struct BenchRegistrar
+{
+    explicit BenchRegistrar(BenchModule m);
+};
+
+/** Register one simulation cell of the current module. */
+void registerJob(SweepJob job);
+
+/** Custom cell: configuration is opaque, only the key is serialized. */
+void registerCell(const std::string& key,
+                  std::function<ExperimentResult()> fn);
+
+/** Result of a finished cell; fatal if @p key was never registered. */
+const ExperimentResult& result(const std::string& key);
 
 /** Mean sync latency over the kinds a micro-bench exercises. */
 inline double
@@ -114,16 +94,8 @@ syncLatency(const RunResult& r)
     return count ? total / static_cast<double>(count) : 0.0;
 }
 
-/** Run the registered cells, then call @p print. */
-inline int
-runAndPrint(int argc, char** argv, const std::function<void()>& print)
-{
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    print();
-    benchmark::Shutdown();
-    return 0;
-}
+/** Shared driver: parse args, run the sweep, emit JSON, print tables. */
+int benchMain(int argc, char** argv);
 
 } // namespace cbsim::bench
 

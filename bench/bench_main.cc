@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Shared driver for every bench binary (and bench_all, which links all
+ * modules). Collects the registered modules' SweepJobs, executes them
+ * on a SweepRunner worker pool, writes one JSON artifact per module,
+ * and prints the paper-shaped tables in module order.
+ */
+
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "harness/json.hh"
+#include "sim/log.hh"
+
+namespace cbsim::bench {
+
+namespace {
+
+std::vector<BenchModule>&
+modules()
+{
+    static std::vector<BenchModule> m;
+    return m;
+}
+
+/** (module name, job) in registration order. */
+std::vector<std::pair<std::string, SweepJob>>&
+pendingJobs()
+{
+    static std::vector<std::pair<std::string, SweepJob>> jobs;
+    return jobs;
+}
+
+std::string&
+currentModule()
+{
+    static std::string name;
+    return name;
+}
+
+std::map<std::string, ExperimentResult>&
+cache()
+{
+    static std::map<std::string, ExperimentResult> c;
+    return c;
+}
+
+void
+usage(const char* argv0)
+{
+    std::cout
+        << "usage: " << argv0 << " [options]\n"
+        << "  --jobs N      worker threads for the sweep (default: all "
+           "hardware threads);\n"
+        << "                results are bit-identical regardless of N\n"
+        << "  --quick       16 cores, scaled-down workloads (smoke runs)\n"
+        << "  --smoke       4 cores, tiny workloads, reduced suite "
+           "(ctest tier-2)\n"
+        << "  --out-dir D   JSON artifact directory (default: "
+           "bench/results)\n"
+        << "  --no-json     skip writing JSON artifacts\n"
+        << "  --only NAME   run only the named module (repeatable; "
+           "bench_all)\n"
+        << "  --list        list the linked modules and exit\n"
+        << "  --help        this text\n";
+}
+
+} // namespace
+
+BenchMode&
+mode()
+{
+    static BenchMode m;
+    return m;
+}
+
+const std::vector<Profile>&
+figSuite()
+{
+    static const std::vector<Profile> quick = quickSuite();
+    return mode().smoke ? quick : benchmarkSuite();
+}
+
+BenchRegistrar::BenchRegistrar(BenchModule m)
+{
+    modules().push_back(std::move(m));
+}
+
+void
+registerJob(SweepJob job)
+{
+    if (currentModule().empty())
+        fatal("registerJob outside a module's registerCells");
+    pendingJobs().emplace_back(currentModule(), std::move(job));
+}
+
+void
+registerCell(const std::string& key, std::function<ExperimentResult()> fn)
+{
+    registerJob(SweepJob::custom(key, std::move(fn)));
+}
+
+const ExperimentResult&
+result(const std::string& key)
+{
+    auto it = cache().find(key);
+    if (it == cache().end())
+        fatal("bench cell not run: ", key);
+    return it->second;
+}
+
+/** Parse a --jobs value; rejects anything but a plain decimal count. */
+bool
+parseJobs(const std::string& s, unsigned& out)
+{
+    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    out = static_cast<unsigned>(std::stoul(s));
+    return true;
+}
+
+int
+benchMain(int argc, char** argv)
+{
+    bool list_only = false;
+    std::vector<std::string> only;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--quick") {
+            mode().cores = 16;
+            mode().scale = 0.25;
+            mode().microIters = 6;
+        } else if (a == "--smoke") {
+            mode().smoke = true;
+            mode().cores = 4;
+            mode().scale = 0.1;
+            mode().microIters = 2;
+        } else if (a == "--jobs" && i + 1 < argc) {
+            if (!parseJobs(argv[++i], mode().jobs)) {
+                std::cerr << "--jobs: not a number: " << argv[i] << "\n";
+                return 2;
+            }
+        } else if (a.rfind("--jobs=", 0) == 0) {
+            if (!parseJobs(a.substr(7), mode().jobs)) {
+                std::cerr << "--jobs: not a number: " << a.substr(7)
+                          << "\n";
+                return 2;
+            }
+        } else if (a == "--out-dir" && i + 1 < argc) {
+            mode().outDir = argv[++i];
+        } else if (a.rfind("--out-dir=", 0) == 0) {
+            mode().outDir = a.substr(10);
+        } else if (a == "--no-json") {
+            mode().writeJson = false;
+        } else if (a == "--only" && i + 1 < argc) {
+            only.push_back(argv[++i]);
+        } else if (a == "--list") {
+            list_only = true;
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::cerr << "unknown option: " << a << "\n";
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    auto mods = modules();
+    std::sort(mods.begin(), mods.end(),
+              [](const BenchModule& a, const BenchModule& b) {
+                  return a.order < b.order;
+              });
+    if (!only.empty()) {
+        std::vector<BenchModule> selected;
+        for (const auto& name : only) {
+            const auto it = std::find_if(
+                mods.begin(), mods.end(),
+                [&](const BenchModule& m) { return m.name == name; });
+            if (it == mods.end()) {
+                std::cerr << "unknown module: " << name
+                          << " (see --list)\n";
+                return 2;
+            }
+            selected.push_back(*it);
+        }
+        mods = std::move(selected);
+    }
+    if (list_only) {
+        for (const auto& m : mods)
+            std::cout << m.name << "  —  " << m.title << "\n";
+        return 0;
+    }
+
+    for (const auto& m : mods) {
+        currentModule() = m.name;
+        m.registerCells();
+    }
+    currentModule().clear();
+
+    SweepRunner runner(mode().jobs);
+    std::map<std::string, std::size_t> key_to_index;
+    for (auto& [module_name, job] : pendingJobs()) {
+        if (!key_to_index.emplace(job.key, runner.jobCount()).second)
+            fatal("duplicate bench cell key: ", job.key);
+        runner.add(job);
+    }
+
+    const std::size_t total = runner.jobCount();
+    std::cout << "cbsim bench: " << total << " simulations on "
+              << runner.workers() << " worker thread(s)\n";
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t done = 0;
+    auto outcomes =
+        runner.run([&](std::size_t i, const JobOutcome& out) {
+            ++done;
+            std::cout << "[" << done << "/" << total << "] "
+                      << runner.job(i).key << "  "
+                      << fmt(out.wallMs, 1) << " ms"
+                      << (out.ok ? "" : "  FAILED") << "\n";
+        });
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    std::cout << "sweep finished in " << fmt(wall_s, 2) << " s\n";
+
+    // Publish results for the table printers (failed cells print as
+    // zeros and are reported at the end).
+    for (std::size_t i = 0; i < outcomes.size(); ++i)
+        cache()[runner.job(i).key] = outcomes[i].result;
+
+    for (const auto& m : mods) {
+        ResultSink sink(m.name);
+        sink.meta("cores", std::to_string(mode().cores));
+        sink.meta("scale", JsonWriter::number(mode().scale));
+        sink.meta("micro_iters", std::to_string(mode().microIters));
+        for (const auto& [module_name, job] : pendingJobs()) {
+            if (module_name != m.name)
+                continue;
+            const std::size_t i = key_to_index.at(job.key);
+            sink.add(job, outcomes[i]);
+        }
+        if (mode().writeJson) {
+            const std::string path =
+                mode().outDir + "/" + m.name + ".json";
+            sink.writeFile(path);
+            std::cout << "wrote " << path << " (" << sink.size()
+                      << " runs)\n";
+        }
+    }
+
+    for (const auto& m : mods)
+        m.print();
+
+    unsigned failures = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].ok) {
+            ++failures;
+            std::cerr << "FAILED: " << runner.job(i).key << ": "
+                      << outcomes[i].error << "\n";
+        }
+    }
+    if (failures) {
+        std::cerr << failures << " of " << total
+                  << " simulations failed\n";
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace cbsim::bench
+
+int
+main(int argc, char** argv)
+{
+    return cbsim::bench::benchMain(argc, argv);
+}

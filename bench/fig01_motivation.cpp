@@ -64,22 +64,22 @@ printTables()
            "latency (no single best back-off).\n";
 }
 
-} // namespace
-} // namespace cbsim::bench
-
-int
-main(int argc, char** argv)
+void
+registerCells()
 {
-    using namespace cbsim;
-    using namespace cbsim::bench;
-    parseArgs(argc, argv);
     for (SyncMicro m : kMicros) {
         for (Technique t : kTechniques) {
-            registerCell(key(m, t), [m, t] {
-                return runSyncMicro(m, t, mode().cores,
-                                    mode().microIters);
-            });
+            registerJob(SweepJob::forMicro(key(m, t), m, t,
+                                           mode().cores,
+                                           mode().microIters));
         }
     }
-    return runAndPrint(argc, argv, printTables);
 }
+
+const BenchRegistrar reg({10, "fig01_motivation",
+                          "Fig. 1 — invalidation vs back-off: LLC "
+                          "accesses / latency trade-off",
+                          registerCells, printTables});
+
+} // namespace
+} // namespace cbsim::bench

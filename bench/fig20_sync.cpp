@@ -63,22 +63,22 @@ printTables()
            "contention.\n";
 }
 
-} // namespace
-} // namespace cbsim::bench
-
-int
-main(int argc, char** argv)
+void
+registerCells()
 {
-    using namespace cbsim;
-    using namespace cbsim::bench;
-    parseArgs(argc, argv);
     for (SyncMicro m : kMicros) {
         for (Technique t : allTechniques) {
-            registerCell(key(m, t), [m, t] {
-                return runSyncMicro(m, t, mode().cores,
-                                    mode().microIters);
-            });
+            registerJob(SweepJob::forMicro(key(m, t), m, t,
+                                           mode().cores,
+                                           mode().microIters));
         }
     }
-    return runAndPrint(argc, argv, printTables);
 }
+
+const BenchRegistrar reg({20, "fig20_sync",
+                          "Fig. 20 — effect of callbacks on five sync "
+                          "constructs",
+                          registerCells, printTables});
+
+} // namespace
+} // namespace cbsim::bench

@@ -41,7 +41,7 @@ printTables()
         TablePrinter table(std::cout, headers, 16, 13);
 
         std::map<Technique, std::vector<double>> normalized;
-        for (const auto& p : benchmarkSuite()) {
+        for (const auto& p : figSuite()) {
             const double base = metricOf(
                 result(key(p.name, Technique::Invalidation)).run,
                 traffic);
@@ -68,23 +68,22 @@ printTables()
            "back-off in time.\n";
 }
 
-} // namespace
-} // namespace cbsim::bench
-
-int
-main(int argc, char** argv)
+void
+registerCells()
 {
-    using namespace cbsim;
-    using namespace cbsim::bench;
-    parseArgs(argc, argv);
-    for (const auto& p : benchmarkSuite()) {
+    for (const auto& p : figSuite()) {
         for (Technique t : allTechniques) {
-            registerCell(key(p.name, t), [&p, t] {
-                return runExperiment(scaled(p, mode().scale), t,
-                                     mode().cores,
-                                     SyncChoice::scalable());
-            });
+            registerJob(SweepJob::forProfile(
+                key(p.name, t), scaled(p, mode().scale), t,
+                mode().cores, SyncChoice::scalable()));
         }
     }
-    return runAndPrint(argc, argv, printTables);
 }
+
+const BenchRegistrar reg({21, "fig21_apps",
+                          "Fig. 21 — exec time + network traffic, 19 "
+                          "benchmarks, 7 configs",
+                          registerCells, printTables});
+
+} // namespace
+} // namespace cbsim::bench

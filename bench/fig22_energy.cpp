@@ -31,7 +31,7 @@ printTables()
     TablePrinter table(std::cout, headers, 16, 24);
 
     std::map<Technique, std::vector<double>> normalized;
-    for (const auto& p : benchmarkSuite()) {
+    for (const auto& p : figSuite()) {
         const double base =
             result(key(p.name, Technique::Invalidation))
                 .energy.onChip();
@@ -59,23 +59,21 @@ printTables()
            "total.\n";
 }
 
-} // namespace
-} // namespace cbsim::bench
-
-int
-main(int argc, char** argv)
+void
+registerCells()
 {
-    using namespace cbsim;
-    using namespace cbsim::bench;
-    parseArgs(argc, argv);
-    for (const auto& p : benchmarkSuite()) {
+    for (const auto& p : figSuite()) {
         for (Technique t : allTechniques) {
-            registerCell(key(p.name, t), [&p, t] {
-                return runExperiment(scaled(p, mode().scale), t,
-                                     mode().cores,
-                                     SyncChoice::scalable());
-            });
+            registerJob(SweepJob::forProfile(
+                key(p.name, t), scaled(p, mode().scale), t,
+                mode().cores, SyncChoice::scalable()));
         }
     }
-    return runAndPrint(argc, argv, printTables);
 }
+
+const BenchRegistrar reg({22, "fig22_energy",
+                          "Fig. 22 — L1/LLC/network energy breakdown",
+                          registerCells, printTables});
+
+} // namespace
+} // namespace cbsim::bench

@@ -40,7 +40,7 @@ printTables()
 
     std::map<std::string, double> time_gm, traffic_gm;
     std::vector<double> base_time, base_traffic;
-    for (const auto& p : benchmarkSuite()) {
+    for (const auto& p : figSuite()) {
         base_time.push_back(static_cast<double>(
             result(key(p.name, Technique::Invalidation, false))
                 .run.cycles));
@@ -52,7 +52,7 @@ printTables()
         for (bool naive : {false, true}) {
             std::vector<double> times, traffics;
             std::size_t i = 0;
-            for (const auto& p : benchmarkSuite()) {
+            for (const auto& p : figSuite()) {
                 const auto& r = result(key(p.name, t, naive)).run;
                 times.push_back(static_cast<double>(r.cycles) /
                                 base_time[i]);
@@ -73,28 +73,28 @@ printTables()
            "T&T&S and CLH.\n";
 }
 
-} // namespace
-} // namespace cbsim::bench
-
-int
-main(int argc, char** argv)
+void
+registerCells()
 {
-    using namespace cbsim;
-    using namespace cbsim::bench;
-    parseArgs(argc, argv);
-    for (const auto& p : benchmarkSuite()) {
+    for (const auto& p : figSuite()) {
         for (Technique t : kTechniques) {
             for (bool naive : {false, true}) {
-                registerCell(key(p.name, t, naive), [&p, t, naive] {
-                    SyncChoice choice;
-                    choice.lock = naive ? LockAlgo::TestAndTestAndSet
-                                        : LockAlgo::Clh;
-                    choice.barrier = BarrierAlgo::TreeSenseReversing;
-                    return runExperiment(scaled(p, mode().scale), t,
-                                         mode().cores, choice);
-                });
+                SyncChoice choice;
+                choice.lock = naive ? LockAlgo::TestAndTestAndSet
+                                    : LockAlgo::Clh;
+                choice.barrier = BarrierAlgo::TreeSenseReversing;
+                registerJob(SweepJob::forProfile(
+                    key(p.name, t, naive), scaled(p, mode().scale), t,
+                    mode().cores, choice));
             }
         }
     }
-    return runAndPrint(argc, argv, printTables);
 }
+
+const BenchRegistrar reg({23, "fig23_scalability",
+                          "Fig. 23 — naive (T&T&S) vs scalable (CLH) "
+                          "locks",
+                          registerCells, printTables});
+
+} // namespace
+} // namespace cbsim::bench

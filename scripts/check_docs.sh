@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# Documentation coverage linter, run as a ctest entry.
+#
+# Checks, in order:
+#   1. Every top-level src/ subsystem directory is mentioned in
+#      DESIGN.md or somewhere under docs/.
+#   2. docs/ISA.md covers 100% of the opcodes declared in the Opcode
+#      enum of src/isa/instruction.hh.
+#   3. Every relative markdown link in the tracked *.md files points at
+#      a file (or file#anchor) that exists.
+#
+# Usage: scripts/check_docs.sh [repo-root]   (default: script's parent)
+
+set -u
+
+root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+cd "$root" || exit 2
+
+fail=0
+err() { echo "check_docs: $*" >&2; fail=1; }
+
+# ---- 1. subsystem coverage --------------------------------------------------
+for dir in src/*/; do
+    sub=$(basename "$dir")
+    if ! grep -q "src/$sub" DESIGN.md docs/*.md 2>/dev/null; then
+        err "subsystem src/$sub is not mentioned in DESIGN.md or docs/"
+    fi
+done
+
+# ---- 2. opcode coverage of docs/ISA.md -------------------------------------
+if [ ! -f docs/ISA.md ]; then
+    err "docs/ISA.md is missing"
+else
+    # Extract enumerator names from the Opcode enum body: identifiers at
+    # the start of a line, up to the closing brace.
+    opcodes=$(sed -n '/^enum class Opcode/,/^};/p' src/isa/instruction.hh \
+        | sed -n 's/^ *\([A-Z][A-Za-z0-9]*\),.*/\1/p')
+    [ -n "$opcodes" ] || err "could not parse Opcode enum from src/isa/instruction.hh"
+    for op in $opcodes; do
+        # Opcodes appear in ISA.md as `MovImm` (backticked table cells).
+        if ! grep -q "\`$op\`" docs/ISA.md; then
+            err "opcode $op is not documented in docs/ISA.md"
+        fi
+    done
+fi
+
+# ---- 3. relative markdown links resolve ------------------------------------
+# Collect the markdown files we keep honest (tracked docs, not build/).
+md_files=$(ls ./*.md docs/*.md 2>/dev/null)
+for md in $md_files; do
+    base=$(dirname "$md")
+    # Pull out (text)(target) link targets; one per line. Skip absolute
+    # URLs and pure in-page anchors.
+    grep -o '](\([^)]*\))' "$md" | sed 's/^](\(.*\))$/\1/' \
+    | while IFS= read -r target; do
+        case $target in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        file=${target%%#*}
+        [ -n "$file" ] || continue
+        if [ ! -e "$base/$file" ] && [ ! -e "$file" ]; then
+            echo "check_docs: broken link in $md -> $target" >&2
+            echo broken > "${TMPDIR:-/tmp}/check_docs_broken.$$"
+        fi
+    done
+done
+if [ -f "${TMPDIR:-/tmp}/check_docs_broken.$$" ]; then
+    rm -f "${TMPDIR:-/tmp}/check_docs_broken.$$"
+    fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+    echo "check_docs: OK (subsystems, opcodes, links)"
+fi
+exit $fail

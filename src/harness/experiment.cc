@@ -5,10 +5,8 @@
 
 namespace cbsim {
 
-namespace {
-
 ExperimentResult
-finishRun(Chip& chip, WorkloadBuild w, bool check_guards)
+finishExperiment(Chip& chip, WorkloadBuild w, bool check_guards)
 {
     ExperimentResult res;
     res.run = chip.run();
@@ -28,8 +26,6 @@ finishRun(Chip& chip, WorkloadBuild w, bool check_guards)
     return res;
 }
 
-} // namespace
-
 ExperimentResult
 runExperiment(const Profile& profile, Technique technique, unsigned cores,
               SyncChoice choice, unsigned cb_entries_per_bank)
@@ -48,7 +44,7 @@ runExperiment(const Profile& profile, Technique technique, unsigned cores,
 
     const bool check = profile.lockedSharedData &&
                        profile.lockAcqPerPhase > 0;
-    return finishRun(chip, std::move(w), check);
+    return finishExperiment(chip, std::move(w), check);
 }
 
 const char*
@@ -140,7 +136,7 @@ runSyncMicro(SyncMicro micro, Technique technique, unsigned cores,
     w.layout.apply(chip.dataStore());
     for (CoreId t = 0; t < cores; ++t)
         chip.setProgram(t, w.programs[t]);
-    return finishRun(chip, std::move(w), is_lock);
+    return finishExperiment(chip, std::move(w), is_lock);
 }
 
 } // namespace cbsim

@@ -53,6 +53,16 @@ ExperimentResult runExperiment(const Profile& profile, Technique technique,
                                unsigned cb_entries_per_bank = 4);
 
 /**
+ * Run an already-loaded @p chip to completion and package the metrics.
+ * When @p check_guards is set, verifies the mutual-exclusion invariant
+ * (every guard word in @p w must equal its expected count) and calls
+ * fatal() on violation. Building block for runExperiment/runSyncMicro
+ * and for custom jobs driven through the SweepRunner.
+ */
+ExperimentResult finishExperiment(Chip& chip, WorkloadBuild w,
+                                  bool check_guards);
+
+/**
  * Run a micro-workload that exercises exactly one synchronization
  * construct (for Figs. 1 and 20): @p iterations of acquire/CS/release on
  * one lock, or barrier episodes, or signal/wait pairs.

@@ -1,0 +1,198 @@
+#include "harness/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/log.hh"
+
+namespace cbsim {
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(os)
+{
+    stack_.push_back(Scope::Root);
+    first_.push_back(true);
+}
+
+JsonWriter::~JsonWriter()
+{
+    // Unbalanced scopes are a bug in the serializer, but destructors
+    // must not throw; the panic surfaces on explicit end*() misuse.
+}
+
+std::string
+JsonWriter::quote(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+JsonWriter::number(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Prefer the shortest representation that still round-trips, so the
+    // common exact values ("1", "0.25") stay readable.
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[40];
+        std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(probe, "%lf", &back);
+        if (back == v)
+            return probe;
+    }
+    return buf;
+}
+
+void
+JsonWriter::indent()
+{
+    os_ << '\n';
+    for (std::size_t i = 1; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::beforeValue()
+{
+    const Scope top = stack_.back();
+    if (top == Scope::Object && !keyPending_)
+        panic("JsonWriter: value without a key inside an object");
+    if (top == Scope::Root && rootWritten_)
+        panic("JsonWriter: multiple root values");
+    if (top == Scope::Array) {
+        if (!first_.back())
+            os_ << ',';
+        indent();
+    }
+    if (top == Scope::Root)
+        rootWritten_ = true;
+    first_.back() = false;
+    keyPending_ = false;
+}
+
+void
+JsonWriter::key(const std::string& k)
+{
+    if (stack_.back() != Scope::Object)
+        panic("JsonWriter: key() outside an object");
+    if (keyPending_)
+        panic("JsonWriter: consecutive keys");
+    if (!first_.back())
+        os_ << ',';
+    indent();
+    os_ << quote(k) << ": ";
+    first_.back() = false;
+    keyPending_ = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os_ << '{';
+    stack_.push_back(Scope::Object);
+    first_.push_back(true);
+}
+
+void
+JsonWriter::endObject()
+{
+    if (stack_.back() != Scope::Object)
+        panic("JsonWriter: endObject() without beginObject()");
+    const bool empty = first_.back();
+    stack_.pop_back();
+    first_.pop_back();
+    if (!empty)
+        indent();
+    os_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os_ << '[';
+    stack_.push_back(Scope::Array);
+    first_.push_back(true);
+}
+
+void
+JsonWriter::endArray()
+{
+    if (stack_.back() != Scope::Array)
+        panic("JsonWriter: endArray() without beginArray()");
+    const bool empty = first_.back();
+    stack_.pop_back();
+    first_.pop_back();
+    if (!empty)
+        indent();
+    os_ << ']';
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    os_ << v;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    os_ << v;
+}
+
+void
+JsonWriter::value(double v)
+{
+    beforeValue();
+    os_ << number(v);
+}
+
+void
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    os_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::value(const std::string& v)
+{
+    beforeValue();
+    os_ << quote(v);
+}
+
+void
+JsonWriter::null()
+{
+    beforeValue();
+    os_ << "null";
+}
+
+} // namespace cbsim

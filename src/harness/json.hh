@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal deterministic JSON emitter for machine-readable results.
+ *
+ * Hand-rolled on purpose: the container carries no JSON library, and the
+ * results layer needs byte-stable output (a --jobs 1 and a --jobs N
+ * sweep over the same job list must serialize identically, which the
+ * tests assert). Keys are emitted in insertion order, doubles with
+ * round-trip precision via a fixed "%.17g"-style format, and no
+ * timestamps or environment-dependent fields are ever written by this
+ * layer.
+ */
+
+#ifndef CBSIM_HARNESS_JSON_HH
+#define CBSIM_HARNESS_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cbsim {
+
+/**
+ * Streaming JSON writer with 2-space indentation. Scope must be
+ * balanced by the caller; misuse (a value without a key inside an
+ * object, unbalanced end*) panics.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream& os);
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter&) = delete;
+    JsonWriter& operator=(const JsonWriter&) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit the key of the next member (objects only). */
+    void key(const std::string& k);
+
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+    void value(double v);
+    void value(bool v);
+    void value(const std::string& v);
+    void value(const char* v) { value(std::string(v)); }
+    void null();
+
+    // key+value in one call, the common case.
+    template <typename T>
+    void
+    field(const std::string& k, const T& v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** Escape @p s as a JSON string literal (with quotes). */
+    static std::string quote(const std::string& s);
+
+    /** Round-trip-precision textual form of @p v ("null" for non-finite). */
+    static std::string number(double v);
+
+  private:
+    enum class Scope : std::uint8_t { Root, Object, Array };
+
+    void beforeValue();
+    void indent();
+
+    std::ostream& os_;
+    std::vector<Scope> stack_;
+    std::vector<bool> first_;   ///< first element of each open scope
+    bool keyPending_ = false;
+    bool rootWritten_ = false;
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_HARNESS_JSON_HH

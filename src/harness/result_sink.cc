@@ -1,0 +1,180 @@
+#include "harness/result_sink.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "harness/json.hh"
+#include "sim/log.hh"
+
+namespace cbsim {
+
+namespace {
+
+void
+writeConfig(JsonWriter& w, const SweepJob& job)
+{
+    w.key("config");
+    w.beginObject();
+    w.field("kind", jobKindName(job.kind));
+    switch (job.kind) {
+      case JobKind::Profile:
+        w.field("workload", job.profile.name);
+        w.field("suite", job.profile.suite);
+        w.field("technique", techniqueName(job.technique));
+        w.field("cores", job.cores);
+        w.field("lock", lockAlgoName(job.choice.lock));
+        w.field("barrier", barrierAlgoName(job.choice.barrier));
+        w.field("cb_entries_per_bank", job.cbEntriesPerBank);
+        break;
+      case JobKind::Micro:
+        w.field("workload", syncMicroName(job.micro));
+        w.field("technique", techniqueName(job.technique));
+        w.field("cores", job.cores);
+        w.field("iterations", job.iterations);
+        w.field("work_between", job.workBetween);
+        w.field("cb_entries_per_bank", job.cbEntriesPerBank);
+        break;
+      case JobKind::Custom:
+        // A custom job's configuration lives in its function; only the
+        // key identifies it.
+        break;
+    }
+    w.endObject();
+}
+
+void
+writeMetrics(JsonWriter& w, const RunResult& r)
+{
+    w.key("metrics");
+    w.beginObject();
+    for (const auto& [name, value] : r.scalarFields())
+        w.field(name, value);
+    w.endObject();
+
+    w.key("sync");
+    w.beginArray();
+    // Kind 0 is SyncKind::None (never recorded); start at 1.
+    for (std::size_t k = 1; k < SyncStats::numKinds; ++k) {
+        const SyncKindResult& s = r.sync[k];
+        w.beginObject();
+        w.field("kind", syncKindName(static_cast<SyncKind>(k)));
+        w.field("completions", s.completions);
+        w.field("total_latency", s.totalLatency);
+        w.field("mean_latency", s.meanLatency);
+        w.field("max_latency", s.maxLatency);
+        w.field("p99_latency", s.p99Latency);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+void
+writeEnergy(JsonWriter& w, const EnergyBreakdown& e)
+{
+    w.key("energy_nj");
+    w.beginObject();
+    w.field("l1", e.l1);
+    w.field("llc", e.llc);
+    w.field("network", e.network);
+    w.field("cbdir", e.cbdir);
+    w.field("memory", e.memory);
+    w.field("on_chip", e.onChip());
+    w.field("total", e.total());
+    w.endObject();
+}
+
+} // namespace
+
+ResultSink::ResultSink(std::string bench_name)
+    : benchName_(std::move(bench_name))
+{
+}
+
+void
+ResultSink::meta(const std::string& key, const std::string& value)
+{
+    meta_.emplace_back(key, value);
+}
+
+void
+ResultSink::add(const SweepJob& job, const JobOutcome& outcome)
+{
+    Entry e;
+    e.job = job;
+    e.job.fn = nullptr; // config snapshot only
+    e.outcome = outcome;
+    // The workload build is only needed for in-process invariant checks;
+    // dropping it keeps long sweeps from retaining every program.
+    e.outcome.result.workload = WorkloadBuild();
+    entries_.push_back(std::move(e));
+}
+
+bool
+ResultSink::allOk() const
+{
+    for (const auto& e : entries_)
+        if (!e.outcome.ok)
+            return false;
+    return true;
+}
+
+void
+ResultSink::write(std::ostream& os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema_version", kSchemaVersion);
+    w.field("generator", "cbsim");
+    w.field("bench", benchName_);
+
+    w.key("meta");
+    w.beginObject();
+    for (const auto& [k, v] : meta_)
+        w.field(k, v);
+    w.endObject();
+
+    w.key("runs");
+    w.beginArray();
+    for (const auto& e : entries_) {
+        w.beginObject();
+        w.field("key", e.job.key);
+        writeConfig(w, e.job);
+        w.field("ok", e.outcome.ok);
+        if (e.outcome.ok) {
+            writeMetrics(w, e.outcome.result.run);
+            writeEnergy(w, e.outcome.result.energy);
+        } else {
+            w.field("error", e.outcome.error);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+std::string
+ResultSink::toJson() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+void
+ResultSink::writeFile(const std::string& path) const
+{
+    const std::filesystem::path p(path);
+    std::error_code ec;
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path(), ec);
+    std::ofstream os(p);
+    if (!os)
+        fatal("cannot open result file for writing: ", path);
+    write(os);
+    if (!os)
+        fatal("write failed: ", path);
+}
+
+} // namespace cbsim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Structured results layer: serializes every run of a sweep (config +
+ * RunResult + EnergyBreakdown + message/flit counters) to a versioned
+ * JSON artifact under bench/results/, so paper regenerations can be
+ * diffed, regressed against, and plotted instead of existing only as
+ * pretty-printed tables. Field-by-field schema: docs/RESULTS.md.
+ *
+ * Determinism contract: the emitted JSON is a pure function of the job
+ * list and the simulator — no timestamps, hostnames, wall-clock times,
+ * or thread counts — so a --jobs 1 and a --jobs N sweep over the same
+ * jobs serialize byte-identically (asserted by tests/harness).
+ */
+
+#ifndef CBSIM_HARNESS_RESULT_SINK_HH
+#define CBSIM_HARNESS_RESULT_SINK_HH
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/sweep.hh"
+
+namespace cbsim {
+
+/** Collects sweep outcomes and writes the versioned JSON artifact. */
+class ResultSink
+{
+  public:
+    /** Bump when the JSON layout changes; emitted as schema_version. */
+    static constexpr unsigned kSchemaVersion = 1;
+
+    explicit ResultSink(std::string bench_name);
+
+    /** Attach a sweep-level string annotation (emitted in order). */
+    void meta(const std::string& key, const std::string& value);
+
+    /** Record one finished job, in submission order. */
+    void add(const SweepJob& job, const JobOutcome& outcome);
+
+    std::size_t size() const { return entries_.size(); }
+    bool allOk() const;
+
+    void write(std::ostream& os) const;
+    std::string toJson() const;
+
+    /**
+     * Write to @p path, creating parent directories as needed.
+     * Fatal on I/O failure.
+     */
+    void writeFile(const std::string& path) const;
+
+  private:
+    struct Entry
+    {
+        SweepJob job; ///< fn stripped; config only
+        JobOutcome outcome;
+    };
+
+    std::string benchName_;
+    std::vector<std::pair<std::string, std::string>> meta_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_HARNESS_RESULT_SINK_HH

@@ -1,0 +1,154 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "sim/log.hh"
+
+namespace cbsim {
+
+const char*
+jobKindName(JobKind k)
+{
+    switch (k) {
+      case JobKind::Profile: return "profile";
+      case JobKind::Micro: return "micro";
+      case JobKind::Custom: return "custom";
+      default: return "?";
+    }
+}
+
+SweepJob
+SweepJob::forProfile(std::string key, Profile profile, Technique technique,
+                     unsigned cores, SyncChoice choice,
+                     unsigned cb_entries_per_bank)
+{
+    SweepJob j;
+    j.key = std::move(key);
+    j.kind = JobKind::Profile;
+    j.profile = std::move(profile);
+    j.technique = technique;
+    j.cores = cores;
+    j.choice = choice;
+    j.cbEntriesPerBank = cb_entries_per_bank;
+    return j;
+}
+
+SweepJob
+SweepJob::forMicro(std::string key, SyncMicro micro, Technique technique,
+                   unsigned cores, unsigned iterations,
+                   std::uint64_t work_between, unsigned cb_entries_per_bank)
+{
+    SweepJob j;
+    j.key = std::move(key);
+    j.kind = JobKind::Micro;
+    j.micro = micro;
+    j.technique = technique;
+    j.cores = cores;
+    j.iterations = iterations;
+    j.workBetween = work_between;
+    j.cbEntriesPerBank = cb_entries_per_bank;
+    return j;
+}
+
+SweepJob
+SweepJob::custom(std::string key, std::function<ExperimentResult()> fn)
+{
+    SweepJob j;
+    j.key = std::move(key);
+    j.kind = JobKind::Custom;
+    j.fn = std::move(fn);
+    return j;
+}
+
+ExperimentResult
+SweepJob::execute() const
+{
+    switch (kind) {
+      case JobKind::Profile:
+        return runExperiment(profile, technique, cores, choice,
+                             cbEntriesPerBank);
+      case JobKind::Micro:
+        return runSyncMicro(micro, technique, cores, iterations,
+                            workBetween, cbEntriesPerBank);
+      case JobKind::Custom:
+        if (!fn)
+            fatal("custom sweep job '", key, "' has no function");
+        return fn();
+    }
+    fatal("corrupt sweep job kind");
+}
+
+SweepRunner::SweepRunner(unsigned jobs) : workers_(jobs)
+{
+    if (workers_ == 0) {
+        workers_ = std::max(1u, std::thread::hardware_concurrency());
+    }
+}
+
+std::size_t
+SweepRunner::add(SweepJob job)
+{
+    jobs_.push_back(std::move(job));
+    return jobs_.size() - 1;
+}
+
+std::vector<JobOutcome>
+SweepRunner::run(
+    const std::function<void(std::size_t, const JobOutcome&)>& on_done)
+{
+    using Clock = std::chrono::steady_clock;
+
+    std::vector<JobOutcome> outcomes(jobs_.size());
+
+    std::atomic<std::size_t> next{0};
+    std::mutex done_mutex;
+
+    // Workers claim jobs by submission index and write to disjoint
+    // slots, so the only shared mutable state is the claim counter and
+    // the progress callback.
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs_.size())
+                return;
+            JobOutcome& out = outcomes[i];
+            const auto start = Clock::now();
+            try {
+                out.result = jobs_[i].execute();
+                out.ok = true;
+            } catch (const std::exception& e) {
+                out.ok = false;
+                out.error = e.what();
+                out.result = ExperimentResult();
+            }
+            out.wallMs =
+                std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          start)
+                    .count();
+            if (on_done) {
+                std::lock_guard<std::mutex> lock(done_mutex);
+                on_done(i, out);
+            }
+        }
+    };
+
+    const unsigned n =
+        static_cast<unsigned>(std::min<std::size_t>(workers_,
+                                                    jobs_.size()));
+    if (n <= 1) {
+        worker();
+        return outcomes;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        pool.emplace_back(worker);
+    for (auto& t : pool)
+        t.join();
+    return outcomes;
+}
+
+} // namespace cbsim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Parallel experiment sweep runner.
+ *
+ * Every figure of the paper is a sweep over dozens of *independent*
+ * simulations — each one a self-contained Chip with its own event queue
+ * and seeded RNG, so runs are bit-identical regardless of which host
+ * thread executes them or in which order. The SweepRunner exploits
+ * that: jobs are described declaratively (so their configuration can be
+ * serialized alongside their metrics), executed across a worker pool,
+ * and collected in submission order. A job that fails (e.g., trips the
+ * mutual-exclusion invariant, which fatal()s) is reported as a failed
+ * outcome without taking down its siblings.
+ */
+
+#ifndef CBSIM_HARNESS_SWEEP_HH
+#define CBSIM_HARNESS_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace cbsim {
+
+/** How a sweep job builds its simulation. */
+enum class JobKind : std::uint8_t
+{
+    Profile, ///< runExperiment over a workload Profile
+    Micro,   ///< runSyncMicro over one synchronization construct
+    Custom,  ///< caller-supplied function (config not serializable)
+};
+
+const char* jobKindName(JobKind k);
+
+/**
+ * One simulation to run: the full configuration tuple
+ * (workload, technique, cores, sync choice, callback-directory size),
+ * carried declaratively so the ResultSink can serialize it next to the
+ * metrics it produced.
+ */
+struct SweepJob
+{
+    std::string key; ///< unique cell name, e.g. "fig20/CLH/CB-One"
+
+    JobKind kind = JobKind::Custom;
+    Technique technique = Technique::Invalidation;
+    unsigned cores = 64;
+    SyncChoice choice = SyncChoice::scalable();
+    unsigned cbEntriesPerBank = 4;
+
+    Profile profile; ///< Profile jobs (already scaled)
+
+    SyncMicro micro = SyncMicro::TtasLock; ///< Micro jobs
+    unsigned iterations = 0;
+    std::uint64_t workBetween = 2500;
+
+    std::function<ExperimentResult()> fn; ///< Custom jobs
+
+    static SweepJob forProfile(std::string key, Profile profile,
+                               Technique technique, unsigned cores,
+                               SyncChoice choice = SyncChoice::scalable(),
+                               unsigned cb_entries_per_bank = 4);
+
+    static SweepJob forMicro(std::string key, SyncMicro micro,
+                             Technique technique, unsigned cores,
+                             unsigned iterations,
+                             std::uint64_t work_between = 2500,
+                             unsigned cb_entries_per_bank = 4);
+
+    static SweepJob custom(std::string key,
+                           std::function<ExperimentResult()> fn);
+
+    /** Run the simulation this job describes (throws on failure). */
+    ExperimentResult execute() const;
+};
+
+/** What one job produced. */
+struct JobOutcome
+{
+    bool ok = false;
+    std::string error;       ///< failure message when !ok
+    ExperimentResult result; ///< default-initialized when !ok
+    double wallMs = 0.0;     ///< host wall-clock (never serialized)
+};
+
+/**
+ * Runs a list of SweepJobs across a pool of host threads and returns
+ * their outcomes in submission order.
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs worker threads; 0 = all hardware threads. */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /** Append a job; returns its submission index. */
+    std::size_t add(SweepJob job);
+
+    std::size_t jobCount() const { return jobs_.size(); }
+    const SweepJob& job(std::size_t i) const { return jobs_.at(i); }
+    unsigned workers() const { return workers_; }
+
+    /**
+     * Execute every added job. @p on_done, if set, is called once per
+     * job in *completion* order (serialized by an internal mutex) with
+     * the submission index — hook for progress output.
+     * @return outcomes, index-aligned with the submission order.
+     */
+    std::vector<JobOutcome>
+    run(const std::function<void(std::size_t, const JobOutcome&)>& on_done =
+            {});
+
+  private:
+    unsigned workers_;
+    std::vector<SweepJob> jobs_;
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_HARNESS_SWEEP_HH

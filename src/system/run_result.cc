@@ -53,6 +53,27 @@ RunResult::fromStats(const StatSet& stats, const SyncStats& sync_stats,
     return r;
 }
 
+std::vector<std::pair<const char*, std::uint64_t>>
+RunResult::scalarFields() const
+{
+    return {
+        {"cycles", cycles},
+        {"llc_accesses", llcAccesses},
+        {"llc_sync_accesses", llcSyncAccesses},
+        {"l1_accesses", l1Accesses},
+        {"cbdir_accesses", cbdirAccesses},
+        {"flit_hops", flitHops},
+        {"packets", packets},
+        {"mem_reads", memReads},
+        {"instructions", instructions},
+        {"invalidations_sent", invalidationsSent},
+        {"cb_wakeups", cbWakeups},
+        {"cbdir_evictions", cbdirEvictions},
+        {"stall_cycles", stallCycles},
+        {"cb_blocked_cycles", cbBlockedCycles},
+    };
+}
+
 std::string
 RunResult::summary() const
 {

@@ -10,6 +10,8 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/core.hh"
 #include "stats/stats.hh"
@@ -54,6 +56,14 @@ struct RunResult
     /** Extract every metric from a finished run's stats. */
     static RunResult fromStats(const StatSet& stats, const SyncStats& sync,
                                Tick cycles);
+
+    /**
+     * Every scalar counter as a (snake_case name, value) pair, in a
+     * fixed order. The single source of truth for serializers (the
+     * harness ResultSink) and diff tools — extend this when adding a
+     * counter so downstream artifacts pick it up automatically.
+     */
+    std::vector<std::pair<const char*, std::uint64_t>> scalarFields() const;
 
     std::string summary() const;
 };
