@@ -44,6 +44,7 @@ struct BenchMode
     unsigned jobs = 0; ///< sweep worker threads; 0 = hardware threads
     bool smoke = false;
     bool writeJson = true;
+    bool profile = false; ///< per-module host-perf summary to stderr
     std::string outDir = "bench/results";
 };
 

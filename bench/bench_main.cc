@@ -64,6 +64,10 @@ usage(const char* argv0)
         << "  --out-dir D   JSON artifact directory (default: "
            "bench/results)\n"
         << "  --no-json     skip writing JSON artifacts\n"
+        << "  --profile     print per-module wall time and events/sec "
+           "to stderr\n"
+        << "                (host-dependent; never written into the "
+           "JSON artifacts)\n"
         << "  --only NAME   run only the named module (repeatable; "
            "bench_all)\n"
         << "  --list        list the linked modules and exit\n"
@@ -158,6 +162,8 @@ benchMain(int argc, char** argv)
             mode().outDir = a.substr(10);
         } else if (a == "--no-json") {
             mode().writeJson = false;
+        } else if (a == "--profile") {
+            mode().profile = true;
         } else if (a == "--only" && i + 1 < argc) {
             only.push_back(argv[++i]);
         } else if (a == "--list") {
@@ -255,6 +261,42 @@ benchMain(int argc, char** argv)
             std::cout << "wrote " << path << " (" << sink.size()
                       << " runs)\n";
         }
+    }
+
+    if (mode().profile) {
+        // Host-perf summary: stderr only, never into the JSON artifacts
+        // (docs/RESULTS.md determinism contract; schema: docs/PERF.md).
+        std::uint64_t all_events = 0;
+        double all_wall = 0.0;
+        for (const auto& m : mods) {
+            std::uint64_t events = 0;
+            double wall_ms = 0.0;
+            for (const auto& [module_name, job] : pendingJobs()) {
+                if (module_name != m.name)
+                    continue;
+                const std::size_t i = key_to_index.at(job.key);
+                events += outcomes[i].result.run.events;
+                wall_ms += outcomes[i].wallMs;
+            }
+            all_events += events;
+            all_wall += wall_ms;
+            std::cerr << "[profile] " << m.name << ": " << events
+                      << " events, " << fmt(wall_ms, 1) << " ms, "
+                      << fmt(wall_ms > 0.0
+                                 ? static_cast<double>(events) /
+                                       (wall_ms / 1e3) / 1e6
+                                 : 0.0,
+                             2)
+                      << " Mev/s\n";
+        }
+        std::cerr << "[profile] total: " << all_events << " events, "
+                  << fmt(all_wall, 1) << " ms, "
+                  << fmt(all_wall > 0.0
+                             ? static_cast<double>(all_events) /
+                                   (all_wall / 1e3) / 1e6
+                             : 0.0,
+                         2)
+                  << " Mev/s\n";
     }
 
     for (const auto& m : mods)

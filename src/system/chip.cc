@@ -97,7 +97,9 @@ Chip::run()
     Tick end = 0;
     for (const auto& core : cores_)
         end = std::max(end, core->doneTick());
-    return RunResult::fromStats(stats_, syncStats_, end);
+    RunResult result = RunResult::fromStats(stats_, syncStats_, end);
+    result.events = eq_.executedEvents();
+    return result;
 }
 
 const CallbackDirectory&

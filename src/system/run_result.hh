@@ -46,6 +46,14 @@ struct RunResult
     std::uint64_t stallCycles = 0;     ///< total core memory-stall cycles
     std::uint64_t cbBlockedCycles = 0; ///< stalls in blocking callbacks
 
+    /**
+     * Kernel events executed by the run's EventQueue. Host-performance
+     * instrumentation only (bench_perf_kernel, bench_all --profile) —
+     * deliberately NOT part of scalarFields(), so it never enters the
+     * deterministic JSON artifacts (docs/RESULTS.md contract).
+     */
+    std::uint64_t events = 0;
+
     std::array<SyncKindResult, SyncStats::numKinds> sync{};
 
     /** Sum counters named "<any prefix>.<suffix>" starting with prefix. */
