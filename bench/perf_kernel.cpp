@@ -5,7 +5,12 @@
  * Runs a fig21-style workload mix (quick-suite benchmarks under the
  * MESI baseline, a back-off variant, and both callback flavours),
  * measures host wall time and executed kernel events per cell, and
- * writes a *host-perf* JSON artifact (schema: docs/PERF.md). This is
+ * writes a *host-perf* JSON artifact (schema: docs/PERF.md). Two
+ * windows are timed per cell: the event-loop window (Chip::run's
+ * dispatch loop — the kernel-throughput headline) and the full
+ * experiment wall including workload build, chip construction, and
+ * stats extraction (identical code on both sides of a kernel
+ * comparison, so it only dilutes the ratio). This is
  * deliberately NOT a bench_main module: host timings are
  * machine-dependent and must never enter the deterministic results
  * artifacts (docs/RESULTS.md contract), so this binary has its own
@@ -43,7 +48,8 @@ struct CellResult
 {
     std::string key;
     std::uint64_t events = 0; ///< kernel events per run (deterministic)
-    double bestWallMs = 0.0;  ///< fastest of --repeat runs
+    double bestWallMs = 0.0;  ///< fastest full-experiment wall, --repeat
+    double bestSimMs = 0.0;   ///< fastest event-loop window, --repeat
 };
 
 struct Options
@@ -96,7 +102,7 @@ writeArtifact(const Options& opt, const std::vector<CellResult>& cells)
         JsonWriter w(os);
         w.beginObject();
         w.field("schema", "cbsim-host-perf");
-        w.field("schema_version", 1u);
+        w.field("schema_version", 2u);
         w.field("bench", "perf_kernel");
         w.key("config");
         w.beginObject();
@@ -108,15 +114,18 @@ writeArtifact(const Options& opt, const std::vector<CellResult>& cells)
         w.beginArray();
         std::uint64_t total_events = 0;
         double total_wall = 0.0;
+        double total_sim = 0.0;
         for (const auto& c : cells) {
             total_events += c.events;
             total_wall += c.bestWallMs;
+            total_sim += c.bestSimMs;
             w.beginObject();
             w.field("key", c.key);
             w.field("events", c.events);
             w.field("best_wall_ms", c.bestWallMs);
+            w.field("best_sim_ms", c.bestSimMs);
             w.field("events_per_sec",
-                    eventsPerSec(c.events, c.bestWallMs));
+                    eventsPerSec(c.events, c.bestSimMs));
             w.endObject();
         }
         w.endArray();
@@ -124,8 +133,9 @@ writeArtifact(const Options& opt, const std::vector<CellResult>& cells)
         w.beginObject();
         w.field("events", total_events);
         w.field("wall_ms", total_wall);
+        w.field("sim_ms", total_sim);
         w.field("events_per_sec",
-                eventsPerSec(total_events, total_wall));
+                eventsPerSec(total_events, total_sim));
         w.endObject();
         w.endObject();
     }
@@ -195,12 +205,14 @@ perfMain(int argc, char** argv)
                         .count();
                 if (r == 0 || wall_ms < cell.bestWallMs)
                     cell.bestWallMs = wall_ms;
+                if (r == 0 || res.run.simWallMs < cell.bestSimMs)
+                    cell.bestSimMs = res.run.simWallMs;
                 cell.events = res.run.events;
             }
             std::cout << "  " << cell.key << ": " << cell.events
                       << " events, "
                       << fmtMevps(
-                             eventsPerSec(cell.events, cell.bestWallMs))
+                             eventsPerSec(cell.events, cell.bestSimMs))
                       << "\n";
             cells.push_back(std::move(cell));
         }
@@ -208,13 +220,18 @@ perfMain(int argc, char** argv)
 
     std::uint64_t total_events = 0;
     double total_wall = 0.0;
+    double total_sim = 0.0;
     for (const auto& c : cells) {
         total_events += c.events;
         total_wall += c.bestWallMs;
+        total_sim += c.bestSimMs;
     }
     std::cout << "total: " << total_events << " events in "
-              << static_cast<std::uint64_t>(total_wall) << " ms = "
-              << fmtMevps(eventsPerSec(total_events, total_wall)) << "\n";
+              << static_cast<std::uint64_t>(total_sim)
+              << " ms of event-loop time = "
+              << fmtMevps(eventsPerSec(total_events, total_sim))
+              << " (full-experiment wall "
+              << static_cast<std::uint64_t>(total_wall) << " ms)\n";
 
     if (opt.writeJson) {
         writeArtifact(opt, cells);

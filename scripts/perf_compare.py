@@ -52,6 +52,12 @@ def main():
 
     before = load(args.before)
     after = load(args.after)
+    if before.get("schema_version") != after.get("schema_version"):
+        print("warning: artifacts use different schema versions "
+              f"({before.get('schema_version')} vs "
+              f"{after.get('schema_version')}); events/sec denominators "
+              "differ (v1 times the full experiment, v2 the event loop) "
+              "so ratios are not comparable", file=sys.stderr)
 
     b_cells = {c["key"]: c for c in before["cells"]}
     a_cells = {c["key"]: c for c in after["cells"]}
@@ -101,6 +107,9 @@ def main():
                    if tb["events_per_sec"] else float("inf"))
     print(f"{'TOTAL':<{width}}  {fmt_eps(tb['events_per_sec'])}  "
           f"{fmt_eps(ta['events_per_sec'])}  {total_ratio:7.2f}x")
+    if "sim_ms" in tb and "sim_ms" in ta:
+        print(f"event-loop: {tb['sim_ms']:.0f} ms -> "
+              f"{ta['sim_ms']:.0f} ms")
     print(f"wall: {tb['wall_ms']:.0f} ms -> {ta['wall_ms']:.0f} ms")
 
     if drift:

@@ -55,12 +55,35 @@ class BackoffPolicy
 
     /**
      * Delay to apply before issuing the spin-marked load at @p pc.
-     * Call exactly once per dynamic spin-load issue.
+     * Call exactly once per dynamic spin-load issue. Inline along with
+     * reset(): one of the two runs on every executed instruction.
      */
-    Tick nextDelay(std::uint64_t pc);
+    Tick
+    nextDelay(std::uint64_t pc)
+    {
+        if (pc != lastPc_) {
+            lastPc_ = pc;
+            retries_ = 0;
+            return 0;
+        }
+        ++retries_;
+        if (!cfg_.enabled)
+            return cfg_.pauseDelay;
+        if (cfg_.maxExponent == 0)
+            return 0;
+        const unsigned exp = retries_ - 1 < cfg_.maxExponent
+                                 ? retries_ - 1
+                                 : cfg_.maxExponent;
+        return cfg_.baseDelay << exp;
+    }
 
     /** A non-spin instruction executed: the spin streak is broken. */
-    void reset();
+    void
+    reset()
+    {
+        lastPc_ = ~0ULL;
+        retries_ = 0;
+    }
 
     unsigned consecutiveRetries() const { return retries_; }
 

@@ -77,13 +77,15 @@ class PipelinedResource
 
     /**
      * Reserve a slot and schedule @p fn when the access (of @p latency
-     * cycles) completes.
+     * cycles) completes. Templated so the callable lands inline in the
+     * event queue without a std::function round-trip.
      */
+    template <typename F>
     void
-    access(Tick latency, EventFn fn)
+    access(Tick latency, F&& fn)
     {
         const Tick begin = start();
-        eq_.scheduleAt(begin + latency, std::move(fn));
+        eq_.scheduleAt(begin + latency, std::forward<F>(fn));
     }
 
   private:

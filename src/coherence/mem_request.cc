@@ -4,18 +4,6 @@
 
 namespace cbsim {
 
-bool
-bypassesL1(MemOp op)
-{
-    switch (op) {
-      case MemOp::Load:
-      case MemOp::Store:
-        return false;
-      default:
-        return true;
-    }
-}
-
 AtomicOutcome
 evalAtomic(AtomicFunc func, Word old_value, Word operand, Word compare)
 {

@@ -7,7 +7,7 @@
 #ifndef CBSIM_COHERENCE_MEM_REQUEST_HH
 #define CBSIM_COHERENCE_MEM_REQUEST_HH
 
-#include <functional>
+#include <type_traits>
 
 #include "noc/message.hh"
 #include "sim/types.hh"
@@ -34,11 +34,43 @@ enum class MemOp : std::uint8_t
     Atomic,      ///< RMW at the LLC: {ld|ld_cb}&{st|st_cb0|st_cb1|st_cbA}
 };
 
-/** True for operations that bypass the L1 (racy accesses). */
-bool bypassesL1(MemOp op);
+/**
+ * True for operations that bypass the L1 (racy accesses). Inline:
+ * checked on every memory access in every L1 controller.
+ */
+inline bool
+bypassesL1(MemOp op)
+{
+    switch (op) {
+      case MemOp::Load:
+      case MemOp::Store:
+        return false;
+      default:
+        return true;
+    }
+}
 
-/** Completion callback: delivers the load/RMW-read value (0 for stores). */
-using MemCompletion = std::function<void(Word)>;
+/**
+ * Completion callback: delivers the load/RMW-read value (0 for stores).
+ *
+ * A plain context + function-pointer pair rather than std::function:
+ * requests are copied into controller pipelines, MSHR replays, and NoC
+ * completion events many times per access, and a trivially copyable
+ * MemRequest keeps all of those copies flat memcpys. Assign with a
+ * captureless lambda taking the context as void*:
+ * @code
+ *   req.onComplete = {[](void* c, Word v) {
+ *       static_cast<Core*>(c)->completeMemory(v); }, this};
+ * @endcode
+ */
+struct MemCompletion
+{
+    void (*fn)(void* ctx, Word value) = nullptr;
+    void* ctx = nullptr;
+
+    void operator()(Word value) const { fn(ctx, value); }
+    explicit operator bool() const { return fn != nullptr; }
+};
 
 /**
  * A memory request issued by a core to its L1 controller. The controller
@@ -69,6 +101,10 @@ struct MemRequest
 
     MemCompletion onComplete;
 };
+
+static_assert(std::is_trivially_copyable_v<MemRequest>,
+              "MemRequest is copied into pipelines, MSHR replays, and "
+              "completion events; keep it a flat memcpy");
 
 /**
  * Evaluate an atomic function against @p old_value.

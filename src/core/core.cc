@@ -37,7 +37,7 @@ void
 Core::start()
 {
     CBSIM_ASSERT(!program_.empty(), "core started without a program");
-    eq_.schedule(0, [this] { step(); });
+    eq_.scheduleTick(0, this);
 }
 
 void
@@ -123,9 +123,7 @@ Core::step()
             ++pc_;
             backoff_.reset();
             eq_.schedule(t, [this, invl] {
-                auto resume = [this] {
-                    eq_.schedule(1, [this] { step(); });
-                };
+                auto resume = [this] { eq_.scheduleTick(1, this); };
                 if (invl)
                     l1_.selfInvalidate(resume);
                 else
@@ -220,25 +218,27 @@ Core::issueMemory(const Instruction& ins, Tick delay)
         panic("issueMemory: not a memory opcode");
     }
 
-    const Tick issued_at = eq_.now() + delay;
-    const bool blocking_cb =
-        ins.op == Opcode::LdCb ||
-        (ins.op == Opcode::Atomic && ins.ldCb);
-    req.onComplete = [this, &ins, issued_at, blocking_cb](Word v) {
-        const Tick stalled = eq_.now() - issued_at;
-        stallCycles_.inc(stalled);
-        if (blocking_cb)
-            cbBlockedCycles_.inc(stalled);
-        completeMemory(ins, v);
-    };
-    eq_.schedule(delay, [this, req = std::move(req)]() mutable {
-        l1_.access(std::move(req));
-    });
+    // The core blocks on the request, so the in-flight state lives in
+    // members and the completion is a plain {trampoline, this} pair —
+    // the request stays trivially copyable end to end.
+    pendingIns_ = &ins;
+    issuedAt_ = eq_.now() + delay;
+    pendingBlockingCb_ = ins.op == Opcode::LdCb ||
+                         (ins.op == Opcode::Atomic && ins.ldCb);
+    req.onComplete = {
+        [](void* c, Word v) { static_cast<Core*>(c)->completeMemory(v); },
+        this};
+    eq_.schedule(delay, [this, req]() { l1_.access(req); });
 }
 
 void
-Core::completeMemory(const Instruction& ins, Word value)
+Core::completeMemory(Word value)
 {
+    const Instruction& ins = *pendingIns_;
+    const Tick stalled = eq_.now() - issuedAt_;
+    stallCycles_.inc(stalled);
+    if (pendingBlockingCb_)
+        cbBlockedCycles_.inc(stalled);
     switch (ins.op) {
       case Opcode::Ld:
       case Opcode::LdThrough:
@@ -250,7 +250,7 @@ Core::completeMemory(const Instruction& ins, Word value)
         break;
     }
     ++pc_;
-    eq_.schedule(1, [this] { step(); });
+    eq_.scheduleTick(1, this);
 }
 
 void

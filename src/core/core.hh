@@ -35,7 +35,7 @@ struct SyncStats
 };
 
 /** A single in-order core executing a mini-ISA program. */
-class Core
+class Core : public Clocked
 {
   public:
     /**
@@ -63,9 +63,12 @@ class Core
     void registerStats(StatSet& stats, const std::string& prefix);
 
   private:
+    /** Clocked wake-up: resume execution (see scheduleTick sites). */
+    void tick() override { step(); }
+
     void step();
     void issueMemory(const Instruction& ins, Tick delay);
-    void completeMemory(const Instruction& ins, Word value);
+    void completeMemory(Word value);
     void handleRecord(const Instruction& ins, Tick when);
 
     CoreId id_;
@@ -83,6 +86,17 @@ class Core
 
     /** Open Record regions: start tick per SyncKind. */
     std::array<Tick, SyncStats::numKinds> recordStart_{};
+
+    /**
+     * The in-flight memory instruction (the core blocks on it, so at
+     * most one exists). Keeping this state in the core lets the
+     * completion callback capture just `this` and stay within
+     * std::function's small-buffer optimization — the memory path
+     * allocates nothing per request.
+     */
+    const Instruction* pendingIns_ = nullptr;
+    Tick issuedAt_ = 0;
+    bool pendingBlockingCb_ = false;
 
     Counter instructions_;
     Counter memOps_;

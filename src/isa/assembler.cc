@@ -27,6 +27,10 @@ Assembler::label(const std::string& name)
 Instruction&
 Assembler::emit(Instruction ins)
 {
+    // Programs run tens to hundreds of instructions; one up-front
+    // reservation replaces the doubling cascade from capacity 1.
+    if (code_.capacity() == 0)
+        code_.reserve(128);
     code_.push_back(ins);
     return code_.back();
 }

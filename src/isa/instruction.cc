@@ -18,24 +18,6 @@ syncKindName(SyncKind k)
     }
 }
 
-bool
-isMemory(Opcode op)
-{
-    switch (op) {
-      case Opcode::Ld:
-      case Opcode::St:
-      case Opcode::LdThrough:
-      case Opcode::LdCb:
-      case Opcode::StThrough:
-      case Opcode::StCb1:
-      case Opcode::StCb0:
-      case Opcode::Atomic:
-        return true;
-      default:
-        return false;
-    }
-}
-
 namespace {
 
 const char*

@@ -73,8 +73,27 @@ enum class Opcode : std::uint8_t
     Atomic,    ///< RMW at the LLC; see func/wake/ldCb fields
 };
 
-/** True if the opcode issues a memory request. */
-bool isMemory(Opcode op);
+/**
+ * True if the opcode issues a memory request. Inline: consulted once
+ * per executed instruction in the core's dispatch loop.
+ */
+inline bool
+isMemory(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::LdThrough:
+      case Opcode::LdCb:
+      case Opcode::StThrough:
+      case Opcode::StCb1:
+      case Opcode::StCb0:
+      case Opcode::Atomic:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /**
  * One decoded instruction. A flat POD keeps the interpreter simple; not

@@ -42,7 +42,13 @@ struct AddrLayout
     bankOf(Addr a, unsigned num_banks)
     {
         CBSIM_ASSERT(num_banks > 0, "bankOf: zero banks");
-        return static_cast<BankId>(lineNumber(a) % num_banks);
+        // Mask when the bank count allows: this runs per issued
+        // message, and core counts are usually powers of two (the
+        // modulo stays for 9/25/49-core meshes).
+        const Addr ln = lineNumber(a);
+        if ((num_banks & (num_banks - 1)) == 0)
+            return static_cast<BankId>(ln & (num_banks - 1));
+        return static_cast<BankId>(ln % num_banks);
     }
 };
 

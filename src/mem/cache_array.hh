@@ -9,6 +9,7 @@
 #ifndef CBSIM_MEM_CACHE_ARRAY_HH
 #define CBSIM_MEM_CACHE_ARRAY_HH
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -63,7 +64,11 @@ class CacheArray
 
     explicit CacheArray(const CacheGeometry& geom)
         : geom_(geom), sets_(geom.numSets()),
-          lines_(geom.numSets() * geom.ways)
+          fastIndex_(std::has_single_bit(std::uint64_t{geom.indexDivisor}) &&
+                     std::has_single_bit(sets_)),
+          divShift_(static_cast<unsigned>(
+              std::countr_zero(std::uint64_t{geom.indexDivisor}))),
+          setMask_(sets_ - 1), lines_(sets_ * geom.ways), mruIdx_(sets_)
     {
     }
 
@@ -75,10 +80,23 @@ class CacheArray
     find(Addr addr)
     {
         const Addr line_addr = AddrLayout::lineAlign(addr);
-        auto [base, end] = setRange(line_addr);
+        const std::size_t set = setOf(line_addr);
+        const std::size_t base = set * geom_.ways;
+        const std::size_t end = base + geom_.ways;
+        // Most-recently-hit way first: spin-wait loops probe the same
+        // line back to back, so this usually resolves in one compare
+        // instead of a scan over every way. Purely an access-order
+        // shortcut — the returned line is the same either way. (A cold
+        // hint may point into another set; the tag compare rejects it,
+        // since a line address maps to exactly one set.)
+        Line& hint = lines_[mruIdx_[set]];
+        if (hint.valid && hint.tag == line_addr)
+            return &hint;
         for (auto i = base; i < end; ++i) {
-            if (lines_[i].valid && lines_[i].tag == line_addr)
+            if (lines_[i].valid && lines_[i].tag == line_addr) {
+                mruIdx_[set] = i;
                 return &lines_[i];
+            }
         }
         return nullptr;
     }
@@ -176,18 +194,36 @@ class CacheArray
     }
 
   private:
+    /**
+     * Set index of @p line_addr. Shift/mask when the geometry allows
+     * it: set selection runs on every lookup and integer division
+     * costs tens of cycles. The div/mod path stays for
+     * non-power-of-two core counts (9, 25, 49 cores give indexDivisor
+     * 9/25/49).
+     */
+    std::size_t
+    setOf(Addr line_addr) const
+    {
+        const std::uint64_t ln = AddrLayout::lineNumber(line_addr);
+        return fastIndex_ ? (ln >> divShift_) & setMask_
+                          : (ln / geom_.indexDivisor) % sets_;
+    }
+
     std::pair<std::size_t, std::size_t>
     setRange(Addr line_addr) const
     {
-        const std::uint64_t set =
-            (AddrLayout::lineNumber(line_addr) / geom_.indexDivisor) %
-            sets_;
+        const std::uint64_t set = setOf(line_addr);
         return {set * geom_.ways, (set + 1) * geom_.ways};
     }
 
     CacheGeometry geom_;
     std::uint64_t sets_;
+    bool fastIndex_;        ///< divisor and set count are powers of two
+    unsigned divShift_;     ///< log2(indexDivisor), fastIndex_ only
+    std::uint64_t setMask_; ///< sets_ - 1, fastIndex_ only
     std::vector<Line> lines_;
+    /** Per-set index (into lines_) of the most recently hit way. */
+    std::vector<std::size_t> mruIdx_;
     std::uint64_t stamp_ = 0;
 };
 

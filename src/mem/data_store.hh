@@ -7,12 +7,21 @@
  * for synchronization accesses that are serialized at the LLC, so a single
  * word-granular store that commits values in LLC/ownership order is
  * functionally exact (see DESIGN.md §3).
+ *
+ * Every simulated load and store lands here, so the container matters:
+ * this is an open-addressing, linear-probe hash table (flat storage, no
+ * per-node allocation, one cache line per probe) rather than a
+ * node-based std::unordered_map. Nothing iterates the table, so its
+ * layout has no determinism surface — only read/write/footprint are
+ * observable, and those are container-independent.
  */
 
 #ifndef CBSIM_MEM_DATA_STORE_HH
 #define CBSIM_MEM_DATA_STORE_HH
 
-#include <unordered_map>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "mem/addr.hh"
 #include "sim/types.hh"
@@ -23,17 +32,83 @@ namespace cbsim {
 class DataStore
 {
   public:
+    DataStore() : slots_(initialSlots) {}
+
     /** Read the word containing @p addr. */
-    Word read(Addr addr) const;
+    Word
+    read(Addr addr) const
+    {
+        const Addr key = AddrLayout::wordAlign(addr);
+        for (std::size_t i = indexOf(key);; i = (i + 1) & mask()) {
+            const Slot& s = slots_[i];
+            if (!s.used)
+                return 0;
+            if (s.addr == key)
+                return s.value;
+        }
+    }
 
     /** Write the word containing @p addr. */
-    void write(Addr addr, Word value);
+    void
+    write(Addr addr, Word value)
+    {
+        const Addr key = AddrLayout::wordAlign(addr);
+        for (std::size_t i = indexOf(key);; i = (i + 1) & mask()) {
+            Slot& s = slots_[i];
+            if (s.used && s.addr == key) {
+                s.value = value;
+                return;
+            }
+            if (!s.used) {
+                s = Slot{key, value, true};
+                if (++used_ * 4 > slots_.size() * 3)
+                    grow();
+                return;
+            }
+        }
+    }
 
     /** Number of distinct words ever written (for tests). */
-    std::size_t footprintWords() const { return words_.size(); }
+    std::size_t footprintWords() const { return used_; }
 
   private:
-    std::unordered_map<Addr, Word> words_;
+    struct Slot
+    {
+        Addr addr = 0;
+        Word value = 0;
+        bool used = false;
+    };
+
+    static constexpr std::size_t initialSlots = 1024; // power of two
+
+    std::size_t mask() const { return slots_.size() - 1; }
+
+    std::size_t
+    indexOf(Addr key) const
+    {
+        // Fibonacci-style multiplicative mix; the shift folds the high
+        // bits down so word-aligned keys spread across the table.
+        const std::uint64_t h = key * 0x9E3779B97F4A7C15ull;
+        return static_cast<std::size_t>(h >> 32) & mask();
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old(slots_.size() * 2);
+        old.swap(slots_);
+        for (const Slot& s : old) {
+            if (!s.used)
+                continue;
+            std::size_t i = indexOf(s.addr);
+            while (slots_[i].used)
+                i = (i + 1) & mask();
+            slots_[i] = s;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t used_ = 0;
 };
 
 } // namespace cbsim

@@ -10,14 +10,6 @@ MemoryModel::MemoryModel(EventQueue& eq, Tick latency, StatSet& stats)
 }
 
 void
-MemoryModel::read(Addr addr, std::function<void()> done)
-{
-    (void)addr;
-    reads_.inc();
-    eq_.schedule(latency_, std::move(done));
-}
-
-void
 MemoryModel::write(Addr addr)
 {
     (void)addr;

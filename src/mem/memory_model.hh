@@ -23,8 +23,18 @@ class MemoryModel
   public:
     MemoryModel(EventQueue& eq, Tick latency, StatSet& stats);
 
-    /** Issue a read of @p addr's line; @p done fires after the latency. */
-    void read(Addr addr, std::function<void()> done);
+    /**
+     * Issue a read of @p addr's line; @p done fires after the latency.
+     * Templated so the completion schedules allocation-free.
+     */
+    template <typename F>
+    void
+    read(Addr addr, F&& done)
+    {
+        (void)addr;
+        reads_.inc();
+        eq_.schedule(latency_, std::forward<F>(done));
+    }
 
     /** Issue a (write-back) write; fire-and-forget. */
     void write(Addr addr);

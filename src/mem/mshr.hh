@@ -8,60 +8,107 @@
  *    queued in the LLC controller and replayed on unlock.
  *  - Blocking directory (MESI): while a line's transaction is in flight
  *    (e.g., invalidations outstanding), later requests queue.
+ *
+ * The table sits on the LLC dispatch fast path (every bank operation
+ * probes it), so it is deliberately not a hash map: only a handful of
+ * lines are ever locked at once per bank, and a linear scan over a flat
+ * entry vector beats hashing at that size. Deferred operations are
+ * stored as inline Events (see sim/event.hh) rather than std::function,
+ * so queuing a replayed message never heap-allocates; an uncontended
+ * lock/unlock cycle performs no allocation at all.
  */
 
 #ifndef CBSIM_MEM_MSHR_HH
 #define CBSIM_MEM_MSHR_HH
 
-#include <deque>
-#include <functional>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "mem/addr.hh"
+#include "sim/event.hh"
 #include "sim/log.hh"
 #include "sim/types.hh"
 
 namespace cbsim {
 
 /** Deferred operation replayed when a line unlocks. */
-using DeferredOp = std::function<void()>;
+using DeferredOp = Event;
 
 /** Per-line lock table with FIFO replay of deferred operations. */
 class LineLockTable
 {
   public:
     /** True if @p addr's line is currently locked. */
-    bool isLocked(Addr addr) const;
+    bool
+    isLocked(Addr addr) const
+    {
+        return findEntry(AddrLayout::lineAlign(addr)) != npos;
+    }
 
     /**
      * Lock @p addr's line.
      * @pre the line is not already locked.
      */
-    void lock(Addr addr);
+    void
+    lock(Addr addr)
+    {
+        const Addr line = AddrLayout::lineAlign(addr);
+        CBSIM_ASSERT(findEntry(line) == npos,
+                     "locking an already-locked line");
+        entries_.emplace_back(Entry{line, {}});
+    }
 
     /**
      * Queue @p op to be replayed when @p addr's line unlocks.
      * @pre the line is locked.
      */
-    void defer(Addr addr, DeferredOp op);
+    void
+    defer(Addr addr, DeferredOp op)
+    {
+        const std::size_t i = findEntry(AddrLayout::lineAlign(addr));
+        CBSIM_ASSERT(i != npos, "defer on unlocked line");
+        entries_[i].deferred.push_back(std::move(op));
+    }
 
     /**
      * Unlock @p addr's line and collect its deferred operations in FIFO
      * order. The caller replays them (typically by re-dispatching each
      * original message), which lets a replayed op re-lock the line.
      */
-    std::deque<DeferredOp> unlock(Addr addr);
+    std::vector<DeferredOp>
+    unlock(Addr addr)
+    {
+        const std::size_t i = findEntry(AddrLayout::lineAlign(addr));
+        CBSIM_ASSERT(i != npos, "unlock on unlocked line");
+        std::vector<DeferredOp> ops = std::move(entries_[i].deferred);
+        entries_[i] = std::move(entries_.back());
+        entries_.pop_back();
+        return ops;
+    }
 
     /** Number of currently locked lines (for tests). */
-    std::size_t lockedLines() const { return locks_.size(); }
+    std::size_t lockedLines() const { return entries_.size(); }
 
   private:
     struct Entry
     {
-        std::deque<DeferredOp> deferred;
+        Addr line;
+        std::vector<DeferredOp> deferred;
     };
 
-    std::unordered_map<Addr, Entry> locks_; ///< keyed by line address
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    std::size_t
+    findEntry(Addr line) const
+    {
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].line == line)
+                return i;
+        }
+        return npos;
+    }
+
+    std::vector<Entry> entries_;
 };
 
 } // namespace cbsim

@@ -1,5 +1,6 @@
 #include "noc/mesh.hh"
 
+#include <bit>
 #include <string>
 
 #include "sim/log.hh"
@@ -8,8 +9,11 @@
 namespace cbsim {
 
 Mesh::Mesh(EventQueue& eq, const NocConfig& cfg, StatSet& stats)
-    : eq_(eq), cfg_(cfg), routers_(cfg.nodes()),
-      coreHandlers_(cfg.nodes()), bankHandlers_(cfg.nodes())
+    : eq_(eq), cfg_(cfg),
+      widthPow2_(std::has_single_bit(cfg.width)),
+      widthShift_(static_cast<unsigned>(std::countr_zero(cfg.width))),
+      routers_(cfg.nodes()), coreHandlers_(cfg.nodes()),
+      bankHandlers_(cfg.nodes())
 {
     if (cfg_.width == 0 || cfg_.height == 0)
         fatal("mesh dimensions must be non-zero");
@@ -81,7 +85,8 @@ Mesh::send(Message msg)
     if (msg.src == msg.dst) {
         // Same-node core<->bank traffic never enters the network.
         localDeliveries_.inc();
-        eq_.schedule(cfg_.localLatency, [this, msg] { deliver(msg); });
+        eq_.schedule(cfg_.localLatency,
+                     [this, msg = std::move(msg)] { deliver(msg); });
         return;
     }
     const unsigned flits =
@@ -101,7 +106,7 @@ Mesh::hop(Message msg, NodeId at, unsigned flits)
     if (next == msg.dst) {
         // Final hop: account tail serialization on delivery.
         eq_.schedule(wait + cfg_.switchLatency + (flits - 1),
-                     [this, msg] { deliver(msg); });
+                     [this, msg = std::move(msg)] { deliver(msg); });
     } else {
         eq_.schedule(wait + cfg_.switchLatency,
                      [this, msg = std::move(msg), next, flits]() mutable {

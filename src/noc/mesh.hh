@@ -66,8 +66,21 @@ class Mesh
     std::uint64_t flitHops() const { return flitHops_.value(); }
 
   private:
-    unsigned xOf(NodeId n) const { return n % cfg_.width; }
-    unsigned yOf(NodeId n) const { return n / cfg_.width; }
+    // X-Y decomposition runs twice per routed hop (millions of times
+    // per run), and a division by the runtime mesh width costs tens of
+    // cycles; mask/shift when the width is a power of two (all
+    // power-of-four core counts — 9/25/49-core meshes keep the
+    // div/mod).
+    unsigned
+    xOf(NodeId n) const
+    {
+        return widthPow2_ ? (n & (cfg_.width - 1)) : (n % cfg_.width);
+    }
+    unsigned
+    yOf(NodeId n) const
+    {
+        return widthPow2_ ? (n >> widthShift_) : (n / cfg_.width);
+    }
     NodeId nodeAt(unsigned x, unsigned y) const
     {
         return y * cfg_.width + x;
@@ -81,6 +94,8 @@ class Mesh
 
     EventQueue& eq_;
     NocConfig cfg_;
+    bool widthPow2_;      ///< mesh width is a power of two
+    unsigned widthShift_; ///< log2(width), widthPow2_ only
     std::vector<Router> routers_;
     std::vector<MessageHandler> coreHandlers_;
     std::vector<MessageHandler> bankHandlers_;

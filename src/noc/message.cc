@@ -39,35 +39,6 @@ carriesLine(MsgType t)
     return t == MsgType::PutM || t == MsgType::Data;
 }
 
-unsigned
-Message::flits(unsigned flit_bytes, unsigned header_bytes,
-               unsigned line_bytes) const
-{
-    unsigned payload_bytes = 0;
-    switch (type) {
-      case MsgType::PutM:
-      case MsgType::Data:
-        payload_bytes = line_bytes;
-        break;
-      case MsgType::StThrough:
-      case MsgType::StCb1:
-      case MsgType::StCb0:
-      case MsgType::AtomicReq:
-      case MsgType::DataWord:
-      case MsgType::WakeUp:
-        payload_bytes = sizeof(Word);
-        break;
-      case MsgType::WtFlush:
-        payload_bytes = sizeof(Word) * std::popcount(wordMask);
-        break;
-      default:
-        payload_bytes = 0;
-        break;
-    }
-    const unsigned total = header_bytes + payload_bytes;
-    return (total + flit_bytes - 1) / flit_bytes;
-}
-
 std::string
 Message::toString() const
 {

@@ -11,6 +11,7 @@
 #ifndef CBSIM_NOC_MESSAGE_HH
 #define CBSIM_NOC_MESSAGE_HH
 
+#include <bit>
 #include <cstdint>
 #include <string>
 
@@ -82,26 +83,36 @@ enum class WakePolicy : std::uint8_t
 /**
  * A network message. Plain value type; routed by the Mesh and interpreted
  * by the receiving controller.
+ *
+ * Field order is widest-first so the struct packs into exactly one cache
+ * line (64 bytes, asserted below): a message is copied at every hop of
+ * its mesh route and into every deferred-replay closure, so its size is
+ * a first-order cost of the NoC hot path.
  */
 struct Message
 {
-    MsgType type = MsgType::NumTypes;
-    NodeId src = 0;
-    NodeId dst = 0;
-    Port dstPort = Port::Bank;
-    CoreId requester = invalidCore; ///< originating core (for callbacks)
-    Addr addr = 0;                  ///< line or word address (op-dependent)
-    Word value = 0;                 ///< word payload (through ops, wakes)
+    Addr addr = 0;            ///< line or word address (op-dependent)
+    Word value = 0;           ///< word payload (through ops, wakes)
 
     // Atomic-op payload (AtomicReq only).
-    AtomicFunc atomicFunc = AtomicFunc::None;
-    Word atomicOperand = 0;   ///< store value / addend
+    Word atomicOperand = 0;   ///< swap/add/set value
     Word atomicCompare = 0;   ///< T&S compare value
-    WakePolicy wakePolicy = WakePolicy::None;
-    bool loadIsCallback = false; ///< ld_cb&st_* : the read half may block
+
+    /** Transaction id used to match responses to MSHRs. */
+    std::uint64_t txn = 0;
+
+    NodeId src = 0;
+    NodeId dst = 0;
+    CoreId requester = invalidCore; ///< originating core (for callbacks)
 
     // WtFlush payload: bitmask of dirty words within the line.
     std::uint32_t wordMask = 0;
+
+    MsgType type = MsgType::NumTypes;
+    Port dstPort = Port::Bank;
+    AtomicFunc atomicFunc = AtomicFunc::None;
+    WakePolicy wakePolicy = WakePolicy::None;
+    bool loadIsCallback = false; ///< ld_cb&st_* : the read half may block
 
     /** Data response grants exclusivity (MESI E/M install). */
     bool exclusive = false;
@@ -109,15 +120,45 @@ struct Message
     /** Request originates from a sync-marked instruction (attribution). */
     bool sync = false;
 
-    /** Transaction id used to match responses to MSHRs. */
-    std::uint64_t txn = 0;
-
-    /** Size of this message in flits for the configured flit size. */
-    unsigned flits(unsigned flit_bytes, unsigned header_bytes,
-                   unsigned line_bytes) const;
+    /**
+     * Size of this message in flits for the configured flit size.
+     * Inline: computed for every injected message on the NoC hot path.
+     */
+    unsigned
+    flits(unsigned flit_bytes, unsigned header_bytes,
+          unsigned line_bytes) const
+    {
+        unsigned payload_bytes = 0;
+        switch (type) {
+          case MsgType::PutM:
+          case MsgType::Data:
+            payload_bytes = line_bytes;
+            break;
+          case MsgType::StThrough:
+          case MsgType::StCb1:
+          case MsgType::StCb0:
+          case MsgType::AtomicReq:
+          case MsgType::DataWord:
+          case MsgType::WakeUp:
+            payload_bytes = sizeof(Word);
+            break;
+          case MsgType::WtFlush:
+            payload_bytes = sizeof(Word) *
+                            static_cast<unsigned>(std::popcount(wordMask));
+            break;
+          default:
+            break;
+        }
+        const unsigned total = header_bytes + payload_bytes;
+        return (total + flit_bytes - 1) / flit_bytes;
+    }
 
     std::string toString() const;
 };
+
+static_assert(sizeof(Message) == 64,
+              "Message should stay one cache line; it is copied per "
+              "mesh hop");
 
 } // namespace cbsim
 

@@ -2,32 +2,76 @@
 
 namespace cbsim {
 
-bool
-EventQueue::step()
+void
+EventQueue::pushFar(Tick when, Event ev)
 {
-    if (queue_.empty())
-        return false;
-    // priority_queue::top() is const; the closure must be moved out, so we
-    // copy the header fields and const_cast the payload (safe: we pop right
-    // after and never touch the moved-from object again).
-    const Event& top = queue_.top();
-    now_ = top.when;
-    EventFn fn = std::move(const_cast<Event&>(top).fn);
-    queue_.pop();
-    ++executed_;
-    fn();
-    return true;
+    std::uint32_t slot;
+    if (farFree_.empty()) {
+        slot = static_cast<std::uint32_t>(farSlots_.size());
+        farSlots_.push_back(std::move(ev));
+    } else {
+        slot = farFree_.back();
+        farFree_.pop_back();
+        farSlots_[slot] = std::move(ev);
+    }
+    far_.push_back(FarKey{when, nextSeq_++, slot});
+    std::push_heap(far_.begin(), far_.end(), FarLater{});
+}
+
+void
+EventQueue::migrateFar()
+{
+    // All pending events are in the far-heap (the wheel just drained),
+    // so popping the heap in (when, seq) order and appending to buckets
+    // reproduces the exact global dispatch order inside the new window.
+    wheelBase_ = far_.front().when;
+    now_ = wheelBase_;
+    while (!far_.empty() && far_.front().when - wheelBase_ < wheelSize) {
+        std::pop_heap(far_.begin(), far_.end(), FarLater{});
+        const FarKey key = far_.back();
+        far_.pop_back();
+        const std::size_t idx = key.when & (wheelSize - 1);
+        Bucket& b = buckets_[idx];
+        if (b.events.size() == b.head)
+            setOccupied(idx);
+        b.events.push_back(std::move(farSlots_[key.slot]));
+        farFree_.push_back(key.slot);
+        ++wheelCount_;
+    }
 }
 
 Tick
 EventQueue::run(Tick maxTicks)
 {
-    while (!queue_.empty()) {
-        if (queue_.top().when > maxTicks) {
+    while (advance()) {
+        if (now_ > maxTicks) {
             fatal("simulation exceeded tick budget ", maxTicks,
-                  " (possible deadlock or livelock); now=", now_);
+                  " (possible deadlock or livelock); ", pendingEvents(),
+                  " events pending, head event at tick ", now_);
         }
-        step();
+        // Dispatch the whole bucket at now_ in one pass: swap its
+        // vector into the scratch buffer and invoke the events in
+        // place, so nothing is moved per event. Same-tick re-entrant
+        // schedules land in the bucket's (fresh) vector — setting the
+        // occupancy bit again — and are picked up by the next
+        // advance(), which stays on this tick.
+        const std::size_t idx = now_ & (wheelSize - 1);
+        Bucket& b = buckets_[idx];
+        const std::size_t head = b.head; // non-zero only after step()
+        b.head = 0;
+        clearOccupied(idx);
+        scratch_.swap(b.events);
+        const std::size_t count = scratch_.size() - head;
+        wheelCount_ -= count;
+        executed_ += count;
+        for (std::size_t i = head; i < scratch_.size(); ++i)
+            scratch_[i]();
+        scratch_.clear();
+        if (b.events.empty()) {
+            // No re-entrant appends: hand the (larger) capacity back
+            // so the bucket stays allocation-free next time around.
+            b.events.swap(scratch_);
+        }
     }
     return now_;
 }

@@ -40,6 +40,7 @@ Tracer::configureFromEnvironment()
             if (list == "all" || list.find(name) != std::string::npos)
                 enabled_[c] = true;
         }
+        syncMask();
     }
     if (const char* addr = std::getenv("CBSIM_TRACE_ADDR"))
         setLineFilter(std::strtoull(addr, nullptr, 0));
@@ -49,12 +50,25 @@ void
 Tracer::enable(TraceCategory c, bool on)
 {
     enabled_[static_cast<std::size_t>(c)] = on;
+    syncMask();
 }
 
 void
 Tracer::enableAll(bool on)
 {
     enabled_.fill(on);
+    syncMask();
+}
+
+void
+Tracer::syncMask()
+{
+    std::uint8_t mask = 0;
+    for (std::size_t c = 0; c < enabled_.size(); ++c) {
+        if (enabled_[c])
+            mask |= static_cast<std::uint8_t>(1u << c);
+    }
+    activeMask = mask;
 }
 
 void
@@ -82,6 +96,7 @@ void
 Tracer::reset()
 {
     enabled_.fill(false);
+    syncMask();
     lineFilter_ = 0;
     sink_ = nullptr;
     emitted_ = 0;

@@ -44,6 +44,17 @@ class Tracer
   public:
     static Tracer& instance();
 
+    /**
+     * Disabled-path fast check: one load of an inline bitmask and a
+     * test, no function call. CBSIM_TRACE consults this before touching
+     * the singleton, so trace points really do cost one branch when off.
+     */
+    static bool
+    categoryOn(TraceCategory c)
+    {
+        return (activeMask & (1u << static_cast<unsigned>(c))) != 0;
+    }
+
     /** Apply CBSIM_TRACE / CBSIM_TRACE_ADDR from the environment. */
     void configureFromEnvironment();
 
@@ -79,6 +90,16 @@ class Tracer
   private:
     Tracer() = default;
 
+    /** Recompute activeMask from enabled_ after any change. */
+    void syncMask();
+
+    static_assert(static_cast<std::size_t>(TraceCategory::NumCategories) <=
+                      8,
+                  "activeMask is 8 bits");
+
+    /** Bit per category, mirrored from enabled_ by enable()/reset(). */
+    static inline std::uint8_t activeMask = 0;
+
     std::array<bool,
                static_cast<std::size_t>(TraceCategory::NumCategories)>
         enabled_{};
@@ -93,11 +114,13 @@ class Tracer
  */
 #define CBSIM_TRACE(category, now, addr, expr)                             \
     do {                                                                   \
-        auto& tracer_ = ::cbsim::Tracer::instance();                       \
-        if (tracer_.on(category) && tracer_.lineMatches(addr)) {           \
-            std::ostringstream trace_os_;                                  \
-            trace_os_ << expr;                                             \
-            tracer_.emit(category, now, trace_os_.str());                  \
+        if (::cbsim::Tracer::categoryOn(category)) {                       \
+            auto& tracer_ = ::cbsim::Tracer::instance();                   \
+            if (tracer_.lineMatches(addr)) {                               \
+                std::ostringstream trace_os_;                              \
+                trace_os_ << expr;                                         \
+                tracer_.emit(category, now, trace_os_.str());              \
+            }                                                              \
         }                                                                  \
     } while (0)
 

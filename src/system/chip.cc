@@ -1,6 +1,7 @@
 #include "system/chip.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "sim/log.hh"
 
@@ -85,9 +86,18 @@ Chip::run()
 {
     CBSIM_ASSERT(!ran_, "Chip::run called twice");
     ran_ = true;
+    // Time only the event-loop window: this is the kernel-throughput
+    // number bench_perf_kernel compares across kernel versions, so it
+    // must exclude construction, program loading, and stats extraction
+    // (identical work on both sides of any comparison).
+    const auto t0 = std::chrono::steady_clock::now();
     for (auto& core : cores_)
         core->start();
     eq_.run(cfg_.maxTicks);
+    const double sim_wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
     if (finished_ != cfg_.numCores) {
         fatal("deadlock: only ", finished_, " of ", cfg_.numCores,
               " cores finished");
@@ -99,6 +109,7 @@ Chip::run()
         end = std::max(end, core->doneTick());
     RunResult result = RunResult::fromStats(stats_, syncStats_, end);
     result.events = eq_.executedEvents();
+    result.simWallMs = sim_wall_ms;
     return result;
 }
 

@@ -47,12 +47,16 @@ struct RunResult
     std::uint64_t cbBlockedCycles = 0; ///< stalls in blocking callbacks
 
     /**
-     * Kernel events executed by the run's EventQueue. Host-performance
-     * instrumentation only (bench_perf_kernel, bench_all --profile) —
-     * deliberately NOT part of scalarFields(), so it never enters the
-     * deterministic JSON artifacts (docs/RESULTS.md contract).
+     * Kernel events executed by the run's EventQueue, and the host wall
+     * time spent inside the event loop (Chip::run's dispatch window,
+     * excluding chip construction, workload build, and stats
+     * extraction). Host-performance instrumentation only
+     * (bench_perf_kernel, bench_all --profile) — deliberately NOT part
+     * of scalarFields(), so neither ever enters the deterministic JSON
+     * artifacts (docs/RESULTS.md contract).
      */
     std::uint64_t events = 0;
+    double simWallMs = 0.0;
 
     std::array<SyncKindResult, SyncStats::numKinds> sync{};
 
