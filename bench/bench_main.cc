@@ -14,6 +14,7 @@
 #include <iostream>
 #include <map>
 
+#include "debug/debug_config.hh"
 #include "harness/json.hh"
 #include "sim/log.hh"
 
@@ -64,6 +65,14 @@ usage(const char* argv0)
         << "  --out-dir D   JSON artifact directory (default: "
            "bench/results)\n"
         << "  --no-json     skip writing JSON artifacts\n"
+        << "  --max-failures N  stop claiming new jobs after N failures "
+           "(default: run all)\n"
+        << "  --job-timeout-s S  per-job wall-clock budget in seconds; "
+           "timed-out jobs\n"
+        << "                become failed rows (default: off)\n"
+        << "  --check-invariants  run the protocol invariant checker in "
+           "every job\n"
+        << "                (docs/ROBUSTNESS.md; panics on violation)\n"
         << "  --profile     print per-module wall time and events/sec "
            "to stderr\n"
         << "                (host-dependent; never written into the "
@@ -128,10 +137,24 @@ parseJobs(const std::string& s, unsigned& out)
     return true;
 }
 
+/** Parse a --job-timeout-s value: a non-negative decimal number. */
+bool
+parseSeconds(const std::string& s, double& out)
+{
+    if (s.empty())
+        return false;
+    char* end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end == s.c_str() + s.size() && out >= 0.0;
+}
+
 int
 benchMain(int argc, char** argv)
 {
     bool list_only = false;
+    bool check_invariants = false;
+    unsigned max_failures = 0;
+    double job_timeout_s = 0.0;
     std::vector<std::string> only;
 
     for (int i = 1; i < argc; ++i) {
@@ -162,6 +185,32 @@ benchMain(int argc, char** argv)
             mode().outDir = a.substr(10);
         } else if (a == "--no-json") {
             mode().writeJson = false;
+        } else if (a == "--max-failures" && i + 1 < argc) {
+            if (!parseJobs(argv[++i], max_failures)) {
+                std::cerr << "--max-failures: not a number: " << argv[i]
+                          << "\n";
+                return 2;
+            }
+        } else if (a.rfind("--max-failures=", 0) == 0) {
+            if (!parseJobs(a.substr(15), max_failures)) {
+                std::cerr << "--max-failures: not a number: "
+                          << a.substr(15) << "\n";
+                return 2;
+            }
+        } else if (a == "--job-timeout-s" && i + 1 < argc) {
+            if (!parseSeconds(argv[++i], job_timeout_s)) {
+                std::cerr << "--job-timeout-s: not a duration: "
+                          << argv[i] << "\n";
+                return 2;
+            }
+        } else if (a.rfind("--job-timeout-s=", 0) == 0) {
+            if (!parseSeconds(a.substr(16), job_timeout_s)) {
+                std::cerr << "--job-timeout-s: not a duration: "
+                          << a.substr(16) << "\n";
+                return 2;
+            }
+        } else if (a == "--check-invariants") {
+            check_invariants = true;
         } else if (a == "--profile") {
             mode().profile = true;
         } else if (a == "--only" && i + 1 < argc) {
@@ -210,7 +259,17 @@ benchMain(int argc, char** argv)
     }
     currentModule().clear();
 
+    // Process-wide debug defaults: every chip built by this process's
+    // jobs inherits these (plus the per-job label the runner installs).
+    DebugConfig& dbg = DebugConfig::processDefaults();
+    if (check_invariants)
+        dbg.checkInvariants = true;
+    if (dbg.forensicDir.empty())
+        dbg.forensicDir = mode().outDir;
+
     SweepRunner runner(mode().jobs);
+    runner.setMaxFailures(max_failures);
+    runner.setJobTimeoutS(job_timeout_s);
     std::map<std::string, std::size_t> key_to_index;
     for (auto& [module_name, job] : pendingJobs()) {
         if (!key_to_index.emplace(job.key, runner.jobCount()).second)
@@ -229,8 +288,11 @@ benchMain(int argc, char** argv)
             ++done;
             std::cout << "[" << done << "/" << total << "] "
                       << runner.job(i).key << "  "
-                      << fmt(out.wallMs, 1) << " ms"
-                      << (out.ok ? "" : "  FAILED") << "\n";
+                      << fmt(out.wallMs, 1) << " ms";
+            if (!out.ok) {
+                std::cout << "  " << jobStatusName(out.status);
+            }
+            std::cout << "\n";
         });
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -306,7 +368,8 @@ benchMain(int argc, char** argv)
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         if (!outcomes[i].ok) {
             ++failures;
-            std::cerr << "FAILED: " << runner.job(i).key << ": "
+            std::cerr << "FAILED (" << jobStatusName(outcomes[i].status)
+                      << "): " << runner.job(i).key << ": "
                       << outcomes[i].error << "\n";
         }
     }

@@ -6,7 +6,9 @@
 #      DESIGN.md or somewhere under docs/.
 #   2. docs/ISA.md covers 100% of the opcodes declared in the Opcode
 #      enum of src/isa/instruction.hh.
-#   3. Every relative markdown link in the tracked *.md files points at
+#   3. docs/ROBUSTNESS.md covers every invariant name declared in
+#      src/debug/invariant_checker.cc (invariantNames()).
+#   4. Every relative markdown link in the tracked *.md files points at
 #      a file (or file#anchor) that exists.
 #
 # Usage: scripts/check_docs.sh [repo-root]   (default: script's parent)
@@ -44,7 +46,26 @@ else
     done
 fi
 
-# ---- 3. relative markdown links resolve ------------------------------------
+# ---- 3. invariant coverage of docs/ROBUSTNESS.md ---------------------------
+if [ ! -f docs/ROBUSTNESS.md ]; then
+    err "docs/ROBUSTNESS.md is missing"
+else
+    # Invariant names are the double-quoted kebab-case strings in the
+    # invariantNames() initializer list.
+    invariants=$(sed -n '/invariantNames()/,/^}/p' \
+                     src/debug/invariant_checker.cc \
+        | grep -o '"[a-z][a-z-]*"' | tr -d '"' | sort -u)
+    [ -n "$invariants" ] || \
+        err "could not parse invariantNames() from src/debug/invariant_checker.cc"
+    for inv in $invariants; do
+        # Invariants appear in ROBUSTNESS.md as backticked list items.
+        if ! grep -q "\`$inv\`" docs/ROBUSTNESS.md; then
+            err "invariant $inv is not documented in docs/ROBUSTNESS.md"
+        fi
+    done
+fi
+
+# ---- 4. relative markdown links resolve ------------------------------------
 # Collect the markdown files we keep honest (tracked docs, not build/).
 md_files=$(ls ./*.md docs/*.md 2>/dev/null)
 for md in $md_files; do

@@ -1,10 +1,14 @@
 #!/usr/bin/env sh
-# Build and run the sim/noc unit tests under AddressSanitizer +
-# UndefinedBehaviorSanitizer, as a ctest tier-2 entry (sanitize_sim_noc).
+# Build and run the sim/noc unit tests plus the robustness/soak tier
+# under AddressSanitizer + UndefinedBehaviorSanitizer, as a ctest
+# tier-2 entry (sanitize_sim_noc).
 #
 # The allocation-free event path (sim/event.hh) manages object lifetimes
 # by hand (placement-new, manual relocation/destruction); this catches
-# use-after-move, buffer overruns, and alignment bugs mechanically.
+# use-after-move, buffer overruns, and alignment bugs mechanically. The
+# soak tier additionally drives the fault-injection recovery paths
+# (forced callback-directory evictions, delayed messages) under the
+# sanitizers — see docs/ROBUSTNESS.md.
 #
 # Uses a nested build tree so the sanitizer flags never leak into the
 # primary build; the tree is reused incrementally across runs.
@@ -35,7 +39,7 @@ cmake -S "$src" -B "$bld" \
     echo "sanitize_tests: configure failed; see $bld.configure.log" >&2
     exit 1
 }
-cmake --build "$bld" --target sim_test noc_test \
+cmake --build "$bld" --target sim_test noc_test debug_test soak_test \
       > "$bld.build.log" 2>&1 || {
     echo "sanitize_tests: build failed; see $bld.build.log" >&2
     tail -n 40 "$bld.build.log" >&2
@@ -47,7 +51,8 @@ UBSAN_OPTIONS=${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}
 export ASAN_OPTIONS UBSAN_OPTIONS
 
 status=0
-for bin in "$bld/tests/sim_test" "$bld/tests/noc_test"; do
+for bin in "$bld/tests/sim_test" "$bld/tests/noc_test" \
+           "$bld/tests/debug_test" "$bld/tests/soak_test"; do
     echo "sanitize_tests: running $bin"
     "$bin" || status=1
 done

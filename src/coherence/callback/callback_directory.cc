@@ -200,6 +200,51 @@ CallbackDirectory::snapshot(Addr addr) const
     return EntrySnapshot{e->cb, e->fe, e->aoOne};
 }
 
+std::vector<CallbackDirectory::EntryState>
+CallbackDirectory::entryStates() const
+{
+    std::vector<EntryState> out;
+    for (const auto& e : entries_) {
+        if (e.valid)
+            out.push_back(EntryState{e.word, e.cb, e.fe, e.aoOne});
+    }
+    return out;
+}
+
+CbReadResult
+CallbackDirectory::forceEvictOne()
+{
+    CbReadResult res;
+    // Prefer a live-waiter entry (the interesting recovery path); fall
+    // back to any valid entry so storms still churn idle directories.
+    Entry* victim = nullptr;
+    for (auto& e : entries_) {
+        if (!e.valid)
+            continue;
+        if (e.cb != 0) {
+            victim = &e;
+            break;
+        }
+        if (victim == nullptr)
+            victim = &e;
+    }
+    if (victim == nullptr)
+        return res;
+
+    evictions_.inc();
+    res.evictionHappened = true;
+    res.evictedWord = victim->word;
+    for (CoreId c = 0; c < numCores_; ++c) {
+        if (victim->cb & (1ULL << c))
+            res.evictedWaiters.push_back(c);
+    }
+    victim->valid = false;
+    victim->cb = 0;
+    victim->fe = 0;
+    victim->aoOne = false;
+    return res;
+}
+
 unsigned
 CallbackDirectory::validEntries() const
 {

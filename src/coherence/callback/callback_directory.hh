@@ -103,6 +103,30 @@ class CallbackDirectory
     /** Number of valid entries. */
     unsigned validEntries() const;
 
+    /**
+     * Full-state snapshot of every valid entry (word address + bits),
+     * for the invariant checker and forensic dumps.
+     */
+    struct EntryState
+    {
+        Addr word;
+        std::uint64_t cb;
+        std::uint64_t fe;
+        bool aoOne;
+    };
+    std::vector<EntryState> entryStates() const;
+
+    /**
+     * Fault injection (eviction storm): evict one valid entry —
+     * preferring one with live waiters — exactly as a capacity
+     * replacement would (paper §3 recovery path: waiters are satisfied
+     * with the current value and the bits are lost). Returns the
+     * evicted waiters + word via the same CbReadResult shape the caller
+     * already handles; evictionHappened is false if the directory holds
+     * no valid entry.
+     */
+    CbReadResult forceEvictOne();
+
     void registerStats(StatSet& stats, const std::string& prefix);
 
   private:

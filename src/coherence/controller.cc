@@ -1,2 +1,20 @@
 // Interface-only translation unit; anchors the controller module.
 #include "coherence/controller.hh"
+
+#include "harness/json.hh"
+
+namespace cbsim {
+
+void
+L1Controller::dumpDebug(JsonWriter& w) const
+{
+    w.null();
+}
+
+void
+LlcBank::dumpDebug(JsonWriter& w) const
+{
+    w.null();
+}
+
+} // namespace cbsim

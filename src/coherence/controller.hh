@@ -16,6 +16,8 @@
 
 namespace cbsim {
 
+class JsonWriter;
+
 /** Fence completion callback. */
 using FenceCompletion = std::function<void()>;
 
@@ -44,6 +46,13 @@ class L1Controller
 
     /** Network delivery for Port::Core messages at this node. */
     virtual void handleMessage(const Message& msg) = 0;
+
+    /**
+     * Emit this controller's debug state (pending misses, transient
+     * lines, ...) as one JSON value into @p w. Called only from
+     * forensic dumps; the default emits null.
+     */
+    virtual void dumpDebug(JsonWriter& w) const;
 };
 
 /** Protocol-side of one LLC bank (home node for its address slice). */
@@ -54,6 +63,9 @@ class LlcBank
 
     /** Network delivery for Port::Bank messages at this node. */
     virtual void handleMessage(const Message& msg) = 0;
+
+    /** Forensic state dump; see L1Controller::dumpDebug. */
+    virtual void dumpDebug(JsonWriter& w) const;
 };
 
 /**

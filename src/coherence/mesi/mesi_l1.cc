@@ -1,5 +1,6 @@
 #include "coherence/mesi/mesi_l1.hh"
 
+#include "harness/json.hh"
 #include "mem/addr.hh"
 #include "sim/log.hh"
 #include "sim/trace.hh"
@@ -339,6 +340,45 @@ MesiL1::cachedLines() const
             lines.emplace_back(line.tag, line.state.state);
         });
     return lines;
+}
+
+std::optional<Addr>
+MesiL1::pendingLine() const
+{
+    if (!pending_)
+        return std::nullopt;
+    return pending_->lineAddr;
+}
+
+void
+MesiL1::dumpDebug(JsonWriter& w) const
+{
+    w.beginObject();
+    w.field("protocol", "mesi");
+    w.field("core", static_cast<std::uint64_t>(core_));
+    w.field("cached_lines",
+            static_cast<std::uint64_t>(array_.validCount()));
+    w.key("pending_miss");
+    if (pending_) {
+        w.beginObject();
+        w.field("line", static_cast<std::uint64_t>(pending_->lineAddr));
+        w.field("want_exclusive", pending_->wantExclusive);
+        w.field("stashed_fwds",
+                static_cast<std::uint64_t>(stashedFwds_.size()));
+        w.endObject();
+    } else {
+        w.null();
+    }
+    w.key("spin_watch");
+    if (watch_) {
+        w.beginObject();
+        w.field("line", static_cast<std::uint64_t>(watch_->lineAddr));
+        w.field("parked_at", watch_->parkedAt);
+        w.endObject();
+    } else {
+        w.null();
+    }
+    w.endObject();
 }
 
 std::optional<MesiState>

@@ -68,6 +68,14 @@ class MesiL1 : public L1Controller
      */
     std::vector<std::pair<Addr, MesiState>> cachedLines() const;
 
+    /**
+     * Line address of the outstanding miss, if any. The invariant
+     * checker skips lines with a pending transaction at either end.
+     */
+    std::optional<Addr> pendingLine() const;
+
+    void dumpDebug(JsonWriter& w) const override;
+
     void registerStats(StatSet& stats, const std::string& prefix);
 
   private:

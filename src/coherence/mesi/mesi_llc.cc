@@ -1,5 +1,7 @@
 #include "coherence/mesi/mesi_llc.hh"
 
+#include "harness/json.hh"
+
 #include <bit>
 
 #include "mem/addr.hh"
@@ -317,6 +319,49 @@ MesiLlcBank::ownerOf(Addr addr) const
 {
     const auto* line = array_.find(addr);
     return line ? line->state.owner : invalidCore;
+}
+
+std::vector<Addr>
+MesiLlcBank::openTxnAddrs() const
+{
+    std::vector<Addr> out;
+    out.reserve(txns_.size());
+    for (const auto& [addr, txn] : txns_)
+        out.push_back(addr);
+    return out;
+}
+
+void
+MesiLlcBank::dumpDebug(JsonWriter& w) const
+{
+    w.beginObject();
+    w.field("protocol", "mesi");
+    w.field("bank", static_cast<std::uint64_t>(bank_));
+    w.field("resident_lines",
+            static_cast<std::uint64_t>(array_.validCount()));
+    w.key("open_txns");
+    w.beginArray();
+    for (const auto& [addr, txn] : txns_) {
+        w.beginObject();
+        w.field("line", static_cast<std::uint64_t>(addr));
+        w.field("request", msgTypeName(txn.request.type));
+        w.field("requester",
+                static_cast<std::uint64_t>(txn.request.requester));
+        w.field("acks_left", static_cast<std::uint64_t>(txn.acksLeft));
+        w.field("waiting_owner", txn.waitingOwner);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("locked_lines");
+    w.beginArray();
+    locks_.forEachLocked([&w](Addr line, std::size_t deferred) {
+        w.beginObject();
+        w.field("line", static_cast<std::uint64_t>(line));
+        w.field("deferred_ops", static_cast<std::uint64_t>(deferred));
+        w.endObject();
+    });
+    w.endArray();
+    w.endObject();
 }
 
 void

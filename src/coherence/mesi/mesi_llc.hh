@@ -46,6 +46,29 @@ class MesiLlcBank : public LlcBank
     std::uint64_t sharersOf(Addr addr) const;
     CoreId ownerOf(Addr addr) const;
 
+    /**
+     * Line addresses with an open (in-flight) directory transaction.
+     * The invariant checker skips these: mid-transaction sharer/owner
+     * state is legitimately transient (invalidations or owner data
+     * still on the wire).
+     */
+    std::vector<Addr> openTxnAddrs() const;
+
+    /** Walk every resident directory line: fn(line, sharers, owner). */
+    template <typename Fn>
+    void
+    forEachDirLine(Fn&& fn) const
+    {
+        array_.forEachValid([&fn](const Line& line) {
+            fn(line.tag, line.state.sharers, line.state.owner);
+        });
+    }
+
+    /** MSHR introspection for the leak invariant. */
+    const LineLockTable& lockTable() const { return locks_; }
+
+    void dumpDebug(JsonWriter& w) const override;
+
     void registerStats(StatSet& stats, const std::string& prefix);
 
   private:

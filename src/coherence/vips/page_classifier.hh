@@ -49,6 +49,21 @@ class PageClassifier
     /** Current class without updating (unknown pages read as Private). */
     PageClass peek(Addr addr) const;
 
+    /**
+     * Owner of @p addr's page if it is classified Private to a core;
+     * invalidCore for Shared or never-touched pages. The invariant
+     * checker uses this to assert no L1 caches a private-marked line
+     * of a page owned by someone else.
+     */
+    CoreId
+    privateOwner(Addr addr) const
+    {
+        const auto it = pages_.find(AddrLayout::pageNumber(addr));
+        if (it == pages_.end() || it->second.shared)
+            return invalidCore;
+        return it->second.owner;
+    }
+
     void registerStats(StatSet& stats, const std::string& prefix);
 
   private:

@@ -1,5 +1,7 @@
 #include "coherence/vips/vips_l1.hh"
 
+#include "debug/fault_injection.hh"
+#include "harness/json.hh"
 #include "mem/addr.hh"
 #include "sim/log.hh"
 
@@ -160,6 +162,24 @@ VipsL1::selfDowngrade(FenceCompletion done)
 void
 VipsL1::selfInvalidate(FenceCompletion done)
 {
+    if (faults_ != nullptr) {
+        // Fault injection: perturb when the fence takes effect. The
+        // core stays blocked on the fence, so a bounded delay must not
+        // change results — the soak tests assert exactly that.
+        const Tick delay = faults_->selfInvlDelay();
+        if (delay > 0) {
+            eq_.schedule(delay, [this, done = std::move(done)]() mutable {
+                selfInvalidateNow(std::move(done));
+            });
+            return;
+        }
+    }
+    selfInvalidateNow(std::move(done));
+}
+
+void
+VipsL1::selfInvalidateNow(FenceCompletion done)
+{
     CBSIM_ASSERT(!fenceDone_, "overlapping fences");
     // Footnote 7: a self-invl fence first self-downgrades transient dirty
     // lines (so they can be invalidated), then discards Shared lines.
@@ -261,6 +281,39 @@ VipsL1::dirtyMask(Addr addr) const
 {
     const auto* line = array_.find(addr);
     return line ? line->state.dirty : 0;
+}
+
+void
+VipsL1::dumpDebug(JsonWriter& w) const
+{
+    w.beginObject();
+    w.field("protocol", "vips");
+    w.field("core", static_cast<std::uint64_t>(core_));
+    w.field("cached_lines",
+            static_cast<std::uint64_t>(array_.validCount()));
+    w.field("outstanding_flush_acks",
+            static_cast<std::uint64_t>(outstandingFlushAcks_));
+    w.field("fence_pending", static_cast<bool>(fenceDone_));
+    w.key("pending_fill");
+    if (pendingFill_) {
+        w.beginObject();
+        w.field("line",
+                static_cast<std::uint64_t>(pendingFill_->lineAddr));
+        w.endObject();
+    } else {
+        w.null();
+    }
+    w.key("pending_through");
+    if (pendingThrough_) {
+        w.beginObject();
+        w.field("addr",
+                static_cast<std::uint64_t>(pendingThrough_->req.addr));
+        w.field("txn", pendingThrough_->txn);
+        w.endObject();
+    } else {
+        w.null();
+    }
+    w.endObject();
 }
 
 void

@@ -26,6 +26,8 @@
 
 namespace cbsim {
 
+class FaultInjector;
+
 /** Per-core L1 controller for the VIPS-M protocol. */
 class VipsL1 : public L1Controller
 {
@@ -51,6 +53,29 @@ class VipsL1 : public L1Controller
     /** For tests: dirty-word mask of @p addr's line (0 if absent). */
     std::uint32_t dirtyMask(Addr addr) const;
 
+    /**
+     * Visit every cached line: fn(lineAddr, privatePage, dirtyMask).
+     * The invariant checker cross-checks privatePage against the page
+     * classifier with this.
+     */
+    template <typename Fn>
+    void
+    forEachCachedLine(Fn&& fn) const
+    {
+        array_.forEachValid([&fn](const Line& line) {
+            fn(line.tag, line.state.privatePage, line.state.dirty);
+        });
+    }
+
+    /**
+     * Enable self-invalidation timing perturbation: fences may start
+     * after a bounded injected delay (FaultPlan::selfInvl*). Null
+     * (default) costs one compare per fence.
+     */
+    void setFaultInjector(FaultInjector* f) { faults_ = f; }
+
+    void dumpDebug(JsonWriter& w) const override;
+
     void registerStats(StatSet& stats, const std::string& prefix);
 
   private:
@@ -66,6 +91,7 @@ class VipsL1 : public L1Controller
     void issueThrough(MemRequest req);
     void flushLine(Line& line);
     void maybeFinishFence();
+    void selfInvalidateNow(FenceCompletion done);
 
     CoreId core_;
     NodeId node_;
@@ -96,6 +122,7 @@ class VipsL1 : public L1Controller
     std::uint64_t nextTxn_ = 1;
     unsigned outstandingFlushAcks_ = 0;
     FenceCompletion fenceDone_;
+    FaultInjector* faults_ = nullptr;
 
     Counter accesses_;
     Counter hits_;

@@ -1,5 +1,7 @@
 #include "coherence/vips/vips_llc.hh"
 
+#include "debug/fault_injection.hh"
+#include "harness/json.hh"
 #include "mem/addr.hh"
 #include "sim/log.hh"
 #include "sim/trace.hh"
@@ -141,10 +143,26 @@ VipsLlcBank::handleWtFlush(const Message& msg)
 }
 
 void
+VipsLlcBank::maybeInjectEviction()
+{
+    if (faults_ == nullptr || !faults_->cbEvictNow())
+        return;
+    CbReadResult res = cbdir_.forceEvictOne();
+    if (!res.evictionHappened)
+        return;
+    faults_->noteCbForcedEviction();
+    CBSIM_TRACE(TraceCategory::CbDir, eq_.now(), res.evictedWord,
+                "bank " << bank_ << " fault-injected eviction, "
+                        << res.evictedWaiters.size() << " waiters");
+    handleEviction(res);
+}
+
+void
 VipsLlcBank::handleLdThrough(const Message& msg)
 {
     // The callback directory is consulted in parallel with the LLC
     // access (Fig. 2): consume the F/E state but never block.
+    maybeInjectEviction();
     cbdirAccesses_.inc();
     cbdir_.ldThrough(msg.addr, msg.requester);
     chargeAccess(msg);
@@ -156,6 +174,7 @@ void
 VipsLlcBank::handleGetCB(const Message& msg)
 {
     // GetCB consults the callback directory *before* the LLC (Fig. 2).
+    maybeInjectEviction();
     cbdirAccesses_.inc();
     CbReadResult res = cbdir_.ldCb(msg.addr, msg.requester);
     handleEviction(res);
@@ -172,6 +191,7 @@ VipsLlcBank::handleGetCB(const Message& msg)
 void
 VipsLlcBank::handleStore(const Message& msg, WakePolicy policy)
 {
+    maybeInjectEviction();
     data_.write(msg.addr, msg.value);
     chargeAccess(msg);
     cbdirAccesses_.inc();
@@ -184,6 +204,7 @@ VipsLlcBank::handleStore(const Message& msg, WakePolicy policy)
 void
 VipsLlcBank::handleAtomic(const Message& msg)
 {
+    maybeInjectEviction();
     cbdirAccesses_.inc();
     if (msg.loadIsCallback) {
         CbReadResult res = cbdir_.ldCb(msg.addr, msg.requester);
@@ -281,6 +302,58 @@ VipsLlcBank::parkedWaiters() const
     for (const auto& [word, m] : waiters_)
         n += m.size();
     return n;
+}
+
+std::vector<std::pair<Addr, CoreId>>
+VipsLlcBank::parkedWaiterList() const
+{
+    std::vector<std::pair<Addr, CoreId>> out;
+    for (const auto& [word, m] : waiters_) {
+        for (const auto& [core, req] : m)
+            out.emplace_back(word, core);
+    }
+    return out;
+}
+
+void
+VipsLlcBank::dumpDebug(JsonWriter& w) const
+{
+    w.beginObject();
+    w.field("protocol", "vips");
+    w.field("bank", static_cast<std::uint64_t>(bank_));
+    w.key("cbdir_entries");
+    w.beginArray();
+    for (const auto& e : cbdir_.entryStates()) {
+        w.beginObject();
+        w.field("word", static_cast<std::uint64_t>(e.word));
+        w.field("cb_mask", e.cb);
+        w.field("fe_mask", e.fe);
+        w.field("mode", e.aoOne ? "one" : "all");
+        w.endObject();
+    }
+    w.endArray();
+    w.key("parked_waiters");
+    w.beginArray();
+    for (const auto& [word, m] : waiters_) {
+        for (const auto& [core, req] : m) {
+            w.beginObject();
+            w.field("word", static_cast<std::uint64_t>(word));
+            w.field("core", static_cast<std::uint64_t>(core));
+            w.field("request", msgTypeName(req.type));
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.key("locked_lines");
+    w.beginArray();
+    locks_.forEachLocked([&w](Addr line, std::size_t deferred) {
+        w.beginObject();
+        w.field("line", static_cast<std::uint64_t>(line));
+        w.field("deferred_ops", static_cast<std::uint64_t>(deferred));
+        w.endObject();
+    });
+    w.endArray();
+    w.endObject();
 }
 
 void

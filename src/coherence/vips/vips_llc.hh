@@ -29,6 +29,8 @@
 
 namespace cbsim {
 
+class FaultInjector;
+
 /** One VIPS LLC bank with its slice of the callback directory. */
 class VipsLlcBank : public LlcBank
 {
@@ -45,6 +47,22 @@ class VipsLlcBank : public LlcBank
 
     /** Number of currently parked waiters (for tests). */
     std::size_t parkedWaiters() const;
+
+    /** Every parked waiter as (word, core); checker/forensics view. */
+    std::vector<std::pair<Addr, CoreId>> parkedWaiterList() const;
+
+    /** MSHR introspection for the leak invariant. */
+    const LineLockTable& lockTable() const { return locks_; }
+
+    /**
+     * Enable eviction-storm fault injection: before each directory
+     * operation, the injector may force-evict a live-waiter entry
+     * (paper §3: waiters are satisfied with the current value and the
+     * bits are lost). Null (default) costs one compare per op.
+     */
+    void setFaultInjector(FaultInjector* f) { faults_ = f; }
+
+    void dumpDebug(JsonWriter& w) const override;
 
     void registerStats(StatSet& stats, const std::string& prefix);
 
@@ -80,6 +98,9 @@ class VipsLlcBank : public LlcBank
 
     void handleEviction(const CbReadResult& res);
 
+    /** Fault-injection gate run before each callback-directory op. */
+    void maybeInjectEviction();
+
     void sendToCore(MsgType type, const Message& req, Word value,
                     Tick latency);
     void chargeAccess(const Message& msg);
@@ -96,6 +117,7 @@ class VipsLlcBank : public LlcBank
     PipelinedResource cbPipe_;
     LineLockTable locks_;
     CallbackDirectory cbdir_;
+    FaultInjector* faults_ = nullptr;
 
     /** Parked blocked callback requests: word -> core -> request. */
     std::unordered_map<Addr, std::map<CoreId, Message>> waiters_;

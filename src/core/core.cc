@@ -1,5 +1,6 @@
 #include "core/core.hh"
 
+#include "harness/json.hh"
 #include "sim/log.hh"
 
 namespace cbsim {
@@ -222,6 +223,7 @@ Core::issueMemory(const Instruction& ins, Tick delay)
     // members and the completion is a plain {trampoline, this} pair —
     // the request stays trivially copyable end to end.
     pendingIns_ = &ins;
+    pendingAddr_ = req.addr;
     issuedAt_ = eq_.now() + delay;
     pendingBlockingCb_ = ins.op == Opcode::LdCb ||
                          (ins.op == Opcode::Atomic && ins.ldCb);
@@ -249,8 +251,31 @@ Core::completeMemory(Word value)
       default:
         break;
     }
+    pendingIns_ = nullptr; // completed: the core is no longer blocked
     ++pc_;
     eq_.scheduleTick(1, this);
+}
+
+void
+Core::dumpDebug(JsonWriter& w) const
+{
+    w.beginObject();
+    w.field("core", static_cast<std::uint64_t>(id_));
+    w.field("pc", pc_);
+    w.field("finished", finished_);
+    w.field("instructions", instructions_.value());
+    w.key("blocked_on");
+    if (pendingIns_ != nullptr) {
+        w.beginObject();
+        w.field("op", opcodeName(pendingIns_->op));
+        w.field("addr", static_cast<std::uint64_t>(pendingAddr_));
+        w.field("issued_at", issuedAt_);
+        w.field("blocking_callback", pendingBlockingCb_);
+        w.endObject();
+    } else {
+        w.null();
+    }
+    w.endObject();
 }
 
 void

@@ -22,6 +22,8 @@
 
 namespace cbsim {
 
+class JsonWriter;
+
 /** Chip-wide synchronization instrumentation shared by all cores. */
 struct SyncStats
 {
@@ -60,6 +62,35 @@ class Core : public Clocked
     /** Architectural register read (for tests). */
     Word reg(Reg r) const { return regs_[r]; }
 
+    /** Instructions retired so far (the watchdog's progress probe). */
+    std::uint64_t instructionsRetired() const
+    {
+        return instructions_.value();
+    }
+
+    /** True while a memory operation holds the core blocked. */
+    bool blockedOnMemory() const { return pendingIns_ != nullptr; }
+
+    /** Effective address of the blocking op; valid iff blockedOnMemory. */
+    Addr blockedAddr() const { return pendingAddr_; }
+
+    /**
+     * True if the blocking op is a callback read (ld_cb or callback
+     * RMW) — i.e. the core may legitimately sit parked in the callback
+     * directory (invariant: CB waiter bits ⊆ such cores).
+     */
+    bool
+    blockedOnCallback() const
+    {
+        return pendingIns_ != nullptr && pendingBlockingCb_;
+    }
+
+    /**
+     * Emit this core's execution state (pc, finished, the blocked-on
+     * memory op if any) into @p w for forensic dumps.
+     */
+    void dumpDebug(JsonWriter& w) const;
+
     void registerStats(StatSet& stats, const std::string& prefix);
 
   private:
@@ -97,6 +128,7 @@ class Core : public Clocked
     const Instruction* pendingIns_ = nullptr;
     Tick issuedAt_ = 0;
     bool pendingBlockingCb_ = false;
+    Addr pendingAddr_ = 0; ///< effective address of pendingIns_
 
     Counter instructions_;
     Counter memOps_;

@@ -1,0 +1,55 @@
+#include "debug/debug_config.hh"
+
+#include <cstdlib>
+
+namespace cbsim {
+
+namespace {
+
+bool
+envFlag(const char* name)
+{
+    const char* v = std::getenv(name);
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+DebugConfig
+fromEnvironment()
+{
+    DebugConfig cfg;
+    if (envFlag("CBSIM_CHECK_INVARIANTS"))
+        cfg.checkInvariants = true;
+    if (const char* dir = std::getenv("CBSIM_FORENSIC_DIR"))
+        cfg.forensicDir = dir;
+    return cfg;
+}
+
+thread_local const DebugConfig* tlsOverride = nullptr;
+
+} // namespace
+
+DebugConfig&
+DebugConfig::processDefaults()
+{
+    static DebugConfig defaults = fromEnvironment();
+    return defaults;
+}
+
+const DebugConfig&
+DebugConfig::current()
+{
+    return tlsOverride != nullptr ? *tlsOverride : processDefaults();
+}
+
+DebugScope::DebugScope(DebugConfig cfg)
+    : saved_(tlsOverride), cfg_(std::move(cfg))
+{
+    tlsOverride = &cfg_;
+}
+
+DebugScope::~DebugScope()
+{
+    tlsOverride = saved_;
+}
+
+} // namespace cbsim

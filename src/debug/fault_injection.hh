@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic fault injection (docs/ROBUSTNESS.md §Fault injection).
+ *
+ * A FaultInjector turns a FaultPlan into per-site decisions. Each
+ * injection site draws from its own Rng stream (seeded seed ^ site tag)
+ * so enabling one fault class does not shift the random sequence seen
+ * by another, and the decision sequence at a site is a pure function of
+ * (plan, site, call count) — the soak tests assert byte-identical
+ * results for identical seeds on the strength of this.
+ *
+ * Components hold a FaultInjector* that is null unless the chip's
+ * DebugConfig carries an enabled plan, so the production hot paths pay
+ * one null check per site.
+ */
+
+#ifndef CBSIM_DEBUG_FAULT_INJECTION_HH
+#define CBSIM_DEBUG_FAULT_INJECTION_HH
+
+#include <cstdint>
+
+#include "debug/debug_config.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace cbsim {
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan& plan)
+        : plan_(plan),
+          cbRng_(plan.seed ^ 0xcb01cb01cb01cb01ULL),
+          nocRng_(plan.seed ^ 0x0c0c0c0c0c0c0c0cULL),
+          invlRng_(plan.seed ^ 0x51e1f51e1f51e1f5ULL)
+    {}
+
+    const FaultPlan& plan() const { return plan_; }
+
+    /**
+     * Callback-directory eviction storm: should this directory
+     * operation force-evict a live-waiter entry first? (Paper §3: the
+     * directory is not backed up, so eviction under waiters must
+     * resolve them with the current value — this provokes that path.)
+     */
+    bool
+    cbEvictNow()
+    {
+        ++cbOps_;
+        if (plan_.cbEvictPeriod != 0 && cbOps_ % plan_.cbEvictPeriod == 0)
+            return true;
+        return plan_.cbEvictChance > 0.0 &&
+               cbRng_.chance(plan_.cbEvictChance);
+    }
+
+    /** Extra injection delay (ticks) for a NoC message; usually 0. */
+    Tick
+    nocDelay()
+    {
+        if (plan_.nocDelayChance <= 0.0 || plan_.nocDelayMax == 0 ||
+            !nocRng_.chance(plan_.nocDelayChance)) {
+            return 0;
+        }
+        return nocRng_.range(1, plan_.nocDelayMax);
+    }
+
+    /** Extra delay (ticks) before an L1 self-invalidation; usually 0. */
+    Tick
+    selfInvlDelay()
+    {
+        if (plan_.selfInvlChance <= 0.0 || plan_.selfInvlDelayMax == 0 ||
+            !invlRng_.chance(plan_.selfInvlChance)) {
+            return 0;
+        }
+        return invlRng_.range(1, plan_.selfInvlDelayMax);
+    }
+
+    std::uint64_t cbForcedEvictions() const { return cbForcedEvictions_; }
+    void noteCbForcedEviction() { ++cbForcedEvictions_; }
+
+  private:
+    FaultPlan plan_;
+    Rng cbRng_;
+    Rng nocRng_;
+    Rng invlRng_;
+    std::uint64_t cbOps_ = 0;
+    std::uint64_t cbForcedEvictions_ = 0;
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_DEBUG_FAULT_INJECTION_HH

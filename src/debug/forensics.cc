@@ -1,0 +1,58 @@
+#include "debug/forensics.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+namespace cbsim {
+namespace forensics {
+
+std::string
+sanitizeLabel(const std::string& label)
+{
+    if (label.empty())
+        return "run";
+    std::string out;
+    out.reserve(label.size());
+    for (char c : label) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                        c == '-';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+std::string
+emitReport(const DebugConfig& cfg, const std::string& json)
+{
+    std::string path;
+    try {
+        std::cerr << "=== cbsim forensic report ===\n"
+                  << json << "\n"
+                  << "=== end forensic report ===" << std::endl;
+        if (!cfg.forensicDir.empty()) {
+            // A dump can precede the run's results artifacts (the bench
+            // driver points forensicDir at --out-dir, which ResultSink
+            // only creates at sweep end).
+            std::error_code ec;
+            std::filesystem::create_directories(cfg.forensicDir, ec);
+            path = cfg.forensicDir + "/" + sanitizeLabel(cfg.label) +
+                   ".forensic.json";
+            std::ofstream out(path, std::ios::trunc);
+            if (out) {
+                out << json << "\n";
+            } else {
+                std::cerr << "warn: could not write forensic file "
+                          << path << std::endl;
+                path.clear();
+            }
+        }
+    } catch (...) {
+        // Swallow everything: the dump rides on an error path already.
+    }
+    return path;
+}
+
+} // namespace forensics
+} // namespace cbsim

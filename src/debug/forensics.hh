@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Forensic-report emission (docs/ROBUSTNESS.md §Forensic dumps).
+ *
+ * The Chip composes the report JSON (it owns every component worth
+ * dumping); this module owns the delivery: every report goes to stderr,
+ * and — when DebugConfig::forensicDir is set — to a machine-readable
+ * file next to the run's results artifacts, named after the run label.
+ */
+
+#ifndef CBSIM_DEBUG_FORENSICS_HH
+#define CBSIM_DEBUG_FORENSICS_HH
+
+#include <string>
+
+#include "debug/debug_config.hh"
+
+namespace cbsim {
+namespace forensics {
+
+/** Current forensic-report schema tag (the report's "schema" field). */
+inline constexpr const char* kSchema = "cbsim-forensic-v1";
+
+/**
+ * Filesystem-safe form of a run label: characters outside
+ * [A-Za-z0-9._-] become '_'; empty labels become "run".
+ */
+std::string sanitizeLabel(const std::string& label);
+
+/**
+ * Deliver a composed report: write @p json (plus a trailing newline)
+ * to stderr, and to `<cfg.forensicDir>/<label>.forensic.json` when a
+ * directory is configured. Never throws — a failing dump must not mask
+ * the error that triggered it.
+ *
+ * @return the file path written, or "" if stderr-only.
+ */
+std::string emitReport(const DebugConfig& cfg, const std::string& json);
+
+} // namespace forensics
+} // namespace cbsim
+
+#endif // CBSIM_DEBUG_FORENSICS_HH

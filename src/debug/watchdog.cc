@@ -1,0 +1,40 @@
+#include "debug/watchdog.hh"
+
+#include "sim/log.hh"
+
+namespace cbsim {
+
+void
+Watchdog::poll()
+{
+    if (cfg_.wallTimeoutS > 0.0) {
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - startWall_)
+                .count();
+        if (elapsed > cfg_.wallTimeoutS) {
+            throw TimeoutError(detail::format(
+                "watchdog: run '", cfg_.label, "' exceeded wall-clock "
+                "budget of ", cfg_.wallTimeoutS, " s (", elapsed,
+                " s elapsed at tick ", eq_.now(), ")"));
+        }
+    }
+
+    if (cfg_.noProgressWindow != 0 && hooks_.progressCounter) {
+        const std::uint64_t cur = hooks_.progressCounter();
+        if (cur != lastProgress_) {
+            lastProgress_ = cur;
+            lastProgressTick_ = eq_.now();
+        } else if (eq_.now() - lastProgressTick_ > cfg_.noProgressWindow) {
+            fatal("watchdog: no instructions retired for ",
+                  eq_.now() - lastProgressTick_, " ticks (window ",
+                  cfg_.noProgressWindow, "); likely deadlock or ",
+                  "livelock at tick ", eq_.now());
+        }
+    }
+
+    if (hooks_.checkInvariants)
+        hooks_.checkInvariants();
+}
+
+} // namespace cbsim

@@ -141,6 +141,7 @@ ResultSink::write(std::ostream& os) const
         w.field("key", e.job.key);
         writeConfig(w, e.job);
         w.field("ok", e.outcome.ok);
+        w.field("status", jobStatusName(e.outcome.status));
         if (e.outcome.ok) {
             writeMetrics(w, e.outcome.result.run);
             writeEnergy(w, e.outcome.result.energy);

@@ -28,8 +28,12 @@ namespace cbsim {
 class ResultSink
 {
   public:
-    /** Bump when the JSON layout changes; emitted as schema_version. */
-    static constexpr unsigned kSchemaVersion = 1;
+    /**
+     * Bump when the JSON layout changes; emitted as schema_version.
+     * v2: per-run "status" string ("ok"/"failed"/"timeout"/"skipped")
+     *     next to the "ok" bool (docs/RESULTS.md).
+     */
+    static constexpr unsigned kSchemaVersion = 2;
 
     explicit ResultSink(std::string bench_name);
 

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "debug/debug_config.hh"
 #include "sim/log.hh"
 
 namespace cbsim {
@@ -16,6 +17,18 @@ jobKindName(JobKind k)
       case JobKind::Profile: return "profile";
       case JobKind::Micro: return "micro";
       case JobKind::Custom: return "custom";
+      default: return "?";
+    }
+}
+
+const char*
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Ok: return "ok";
+      case JobStatus::Failed: return "failed";
+      case JobStatus::TimedOut: return "timeout";
+      case JobStatus::Skipped: return "skipped";
       default: return "?";
     }
 }
@@ -78,7 +91,9 @@ SweepJob::execute() const
             fatal("custom sweep job '", key, "' has no function");
         return fn();
     }
-    fatal("corrupt sweep job kind");
+    // Reaching here means the enum itself is corrupt — a simulator bug,
+    // not a user/config error (log.hh contract).
+    panic("corrupt sweep job kind");
 }
 
 SweepRunner::SweepRunner(unsigned jobs) : workers_(jobs)
@@ -104,23 +119,50 @@ SweepRunner::run(
     std::vector<JobOutcome> outcomes(jobs_.size());
 
     std::atomic<std::size_t> next{0};
+    std::atomic<unsigned> failures{0};
     std::mutex done_mutex;
 
     // Workers claim jobs by submission index and write to disjoint
-    // slots, so the only shared mutable state is the claim counter and
-    // the progress callback.
+    // slots, so the only shared mutable state is the claim counter,
+    // the failure count, and the progress callback.
     auto worker = [&] {
         for (;;) {
             const std::size_t i = next.fetch_add(1);
             if (i >= jobs_.size())
                 return;
             JobOutcome& out = outcomes[i];
+            if (maxFailures_ != 0 && failures.load() >= maxFailures_) {
+                out.ok = false;
+                out.status = JobStatus::Skipped;
+                out.error = "sweep stopped: failure budget (" +
+                            std::to_string(maxFailures_) + ") exhausted";
+                if (on_done) {
+                    std::lock_guard<std::mutex> lock(done_mutex);
+                    on_done(i, out);
+                }
+                continue;
+            }
+            // Thread-scoped debug override: every chip this job builds
+            // inherits the job's key as its forensic label and the
+            // sweep's per-job wall-clock budget.
+            DebugConfig dcfg = DebugConfig::current();
+            dcfg.label = jobs_[i].key;
+            if (jobTimeoutS_ > 0.0)
+                dcfg.wallTimeoutS = jobTimeoutS_;
+            DebugScope scope(dcfg);
             const auto start = Clock::now();
             try {
                 out.result = jobs_[i].execute();
                 out.ok = true;
+                out.status = JobStatus::Ok;
+            } catch (const TimeoutError& e) {
+                out.ok = false;
+                out.status = JobStatus::TimedOut;
+                out.error = e.what();
+                out.result = ExperimentResult();
             } catch (const std::exception& e) {
                 out.ok = false;
+                out.status = JobStatus::Failed;
                 out.error = e.what();
                 out.result = ExperimentResult();
             }
@@ -128,6 +170,8 @@ SweepRunner::run(
                 std::chrono::duration<double, std::milli>(Clock::now() -
                                                           start)
                     .count();
+            if (!out.ok)
+                failures.fetch_add(1);
             if (on_done) {
                 std::lock_guard<std::mutex> lock(done_mutex);
                 on_done(i, out);

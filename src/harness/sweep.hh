@@ -76,10 +76,22 @@ struct SweepJob
     ExperimentResult execute() const;
 };
 
+/** How a job ended (serialized as the results row's "status" field). */
+enum class JobStatus : std::uint8_t
+{
+    Ok,       ///< completed; metrics are valid
+    Failed,   ///< threw (fatal/panic/invariant violation); error set
+    TimedOut, ///< tripped the per-job wall-clock budget (failed row)
+    Skipped,  ///< never ran: the sweep's failure budget was exhausted
+};
+
+const char* jobStatusName(JobStatus s);
+
 /** What one job produced. */
 struct JobOutcome
 {
     bool ok = false;
+    JobStatus status = JobStatus::Failed;
     std::string error;       ///< failure message when !ok
     ExperimentResult result; ///< default-initialized when !ok
     double wallMs = 0.0;     ///< host wall-clock (never serialized)
@@ -94,6 +106,22 @@ class SweepRunner
   public:
     /** @param jobs worker threads; 0 = all hardware threads. */
     explicit SweepRunner(unsigned jobs = 0);
+
+    /**
+     * Per-job wall-clock budget in seconds (0 = off, the default).
+     * Installed as a thread-scoped DebugConfig override around each
+     * job, so every chip the job builds polls it cooperatively
+     * (watchdog); a tripped job is recorded as a TimedOut failed row.
+     */
+    void setJobTimeoutS(double s) { jobTimeoutS_ = s; }
+
+    /**
+     * Stop claiming new jobs once this many have failed (0 = never,
+     * the default). Jobs never started are recorded as Skipped rows;
+     * which jobs those are depends on scheduling, so artifacts of an
+     * aborted sweep are not byte-reproducible (docs/RESULTS.md).
+     */
+    void setMaxFailures(unsigned n) { maxFailures_ = n; }
 
     /** Append a job; returns its submission index. */
     std::size_t add(SweepJob job);
@@ -114,6 +142,8 @@ class SweepRunner
 
   private:
     unsigned workers_;
+    double jobTimeoutS_ = 0.0;
+    unsigned maxFailures_ = 0;
     std::vector<SweepJob> jobs_;
 };
 

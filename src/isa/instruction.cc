@@ -18,8 +18,6 @@ syncKindName(SyncKind k)
     }
 }
 
-namespace {
-
 const char*
 opcodeName(Opcode op)
 {
@@ -50,8 +48,6 @@ opcodeName(Opcode op)
       default: return "?";
     }
 }
-
-} // namespace
 
 std::string
 Instruction::toString() const

@@ -73,6 +73,9 @@ enum class Opcode : std::uint8_t
     Atomic,    ///< RMW at the LLC; see func/wake/ldCb fields
 };
 
+/** Mnemonic of @p op (docs/ISA.md names); "?" for invalid values. */
+const char* opcodeName(Opcode op);
+
 /**
  * True if the opcode issues a memory request. Inline: consulted once
  * per executed instruction in the core's dispatch loop.

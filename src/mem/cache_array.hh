@@ -183,6 +183,17 @@ class CacheArray
         }
     }
 
+    /** Read-only walk over valid lines (invariant checker, forensics). */
+    template <typename Fn>
+    void
+    forEachValid(Fn&& fn) const
+    {
+        for (const auto& line : lines_) {
+            if (line.valid)
+                fn(line);
+        }
+    }
+
     /** Count of valid lines (for tests). */
     std::size_t
     validCount() const

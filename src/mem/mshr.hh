@@ -89,6 +89,16 @@ class LineLockTable
     /** Number of currently locked lines (for tests). */
     std::size_t lockedLines() const { return entries_.size(); }
 
+    /** Visit every locked line: fn(lineAddr, deferredOpCount). For the
+     *  invariant checker's leak pass and forensic dumps. */
+    template <typename Fn>
+    void
+    forEachLocked(Fn&& fn) const
+    {
+        for (const Entry& e : entries_)
+            fn(e.line, e.deferred.size());
+    }
+
   private:
     struct Entry
     {

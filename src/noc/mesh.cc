@@ -3,6 +3,8 @@
 #include <bit>
 #include <string>
 
+#include "debug/fault_injection.hh"
+#include "debug/noc_tracker.hh"
 #include "sim/log.hh"
 #include "sim/trace.hh"
 
@@ -82,6 +84,10 @@ Mesh::send(Message msg)
     CBSIM_TRACE(TraceCategory::Noc, eq_.now(), msg.addr,
                 "inject " << msg.toString());
 
+    if (tracker_ != nullptr || faults_ != nullptr) {
+        sendDebug(std::move(msg));
+        return;
+    }
     if (msg.src == msg.dst) {
         // Same-node core<->bank traffic never enters the network.
         localDeliveries_.inc();
@@ -111,6 +117,66 @@ Mesh::hop(Message msg, NodeId at, unsigned flits)
         eq_.schedule(wait + cfg_.switchLatency,
                      [this, msg = std::move(msg), next, flits]() mutable {
                          hop(std::move(msg), next, flits);
+                     });
+    }
+}
+
+void
+Mesh::sendDebug(Message msg)
+{
+    // Mirrors send()'s tail, threading a tracker slot through every hop
+    // closure and front-loading any injected fault delay. Lives off the
+    // hot path so the untracked send() stays unchanged.
+    const std::uint32_t slot =
+        tracker_ != nullptr ? tracker_->onInject(msg, eq_.now()) : 0;
+    const Tick extra = faults_ != nullptr ? faults_->nocDelay() : 0;
+
+    if (msg.src == msg.dst) {
+        localDeliveries_.inc();
+        eq_.schedule(cfg_.localLatency + extra,
+                     [this, msg = std::move(msg), slot] {
+                         if (tracker_ != nullptr)
+                             tracker_->onDeliver(slot);
+                         deliver(msg);
+                     });
+        return;
+    }
+    const unsigned flits =
+        msg.flits(cfg_.flitBytes, cfg_.headerBytes, cfg_.lineBytes);
+    const NodeId src = msg.src;
+    if (extra == 0) {
+        hopDebug(std::move(msg), src, flits, slot);
+    } else {
+        eq_.schedule(extra,
+                     [this, msg = std::move(msg), src, flits,
+                      slot]() mutable {
+                         hopDebug(std::move(msg), src, flits, slot);
+                     });
+    }
+}
+
+void
+Mesh::hopDebug(Message msg, NodeId at, unsigned flits, std::uint32_t slot)
+{
+    if (tracker_ != nullptr)
+        tracker_->onHop(slot, at);
+    auto [next, dir] = nextHop(at, msg.dst);
+    const Tick start = routers_[at].reserve(dir, eq_.now(), flits);
+    flitHops_.inc(flits);
+    const Tick wait = start - eq_.now();
+
+    if (next == msg.dst) {
+        eq_.schedule(wait + cfg_.switchLatency + (flits - 1),
+                     [this, msg = std::move(msg), slot] {
+                         if (tracker_ != nullptr)
+                             tracker_->onDeliver(slot);
+                         deliver(msg);
+                     });
+    } else {
+        eq_.schedule(wait + cfg_.switchLatency,
+                     [this, msg = std::move(msg), next, flits,
+                      slot]() mutable {
+                         hopDebug(std::move(msg), next, flits, slot);
                      });
     }
 }

@@ -22,6 +22,9 @@
 
 namespace cbsim {
 
+class NocTracker;
+class FaultInjector;
+
 /** Static mesh parameters (paper Table 2 defaults). */
 struct NocConfig
 {
@@ -65,6 +68,22 @@ class Mesh
     /** Total flit-hops so far (the traffic metric). */
     std::uint64_t flitHops() const { return flitHops_.value(); }
 
+    /**
+     * Install debug hooks (either may be null). With both null — the
+     * default — send() takes the original untracked path after two
+     * pointer compares, so production runs stay byte-identical.
+     * @p tracker records in-flight messages for forensics/leak checks;
+     * @p faults adds bounded injection delays (FaultPlan::nocDelay*).
+     */
+    void
+    setDebug(NocTracker* tracker, FaultInjector* faults)
+    {
+        tracker_ = tracker;
+        faults_ = faults;
+    }
+
+    const NocTracker* tracker() const { return tracker_; }
+
   private:
     // X-Y decomposition runs twice per routed hop (millions of times
     // per run), and a division by the runtime mesh width costs tens of
@@ -92,6 +111,11 @@ class Mesh
     void hop(Message msg, NodeId at, unsigned flits);
     void deliver(const Message& msg);
 
+    /** Cold path of send(): tracking and/or fault delay enabled. */
+    void sendDebug(Message msg);
+    void hopDebug(Message msg, NodeId at, unsigned flits,
+                  std::uint32_t slot);
+
     EventQueue& eq_;
     NocConfig cfg_;
     bool widthPow2_;      ///< mesh width is a power of two
@@ -99,6 +123,8 @@ class Mesh
     std::vector<Router> routers_;
     std::vector<MessageHandler> coreHandlers_;
     std::vector<MessageHandler> bankHandlers_;
+    NocTracker* tracker_ = nullptr;
+    FaultInjector* faults_ = nullptr;
 
     Counter packets_;
     Counter flitHops_;

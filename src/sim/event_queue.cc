@@ -72,8 +72,45 @@ EventQueue::run(Tick maxTicks)
             // so the bucket stays allocation-free next time around.
             b.events.swap(scratch_);
         }
+        if (executed_ >= nextPollAt_) {
+            nextPollAt_ = executed_ + pollEvery_;
+            pollFn_();
+        }
     }
     return now_;
+}
+
+EventQueue::DebugSnapshot
+EventQueue::debugSnapshot(std::size_t maxHeadTicks) const
+{
+    DebugSnapshot snap;
+    snap.now = now_;
+    snap.executed = executed_;
+    snap.pending = pendingEvents();
+    snap.farPending = far_.size();
+    if (!far_.empty())
+        snap.farMin = far_.front().when;
+    if (wheelCount_ != 0) {
+        // Walk occupied buckets in circular (= tick) order from now_.
+        std::size_t idx = now_ & (wheelSize - 1);
+        std::size_t seen = 0;
+        for (std::size_t i = 0; i < wheelSize && seen < maxHeadTicks;
+             ++i) {
+            const std::size_t b = (idx + i) & (wheelSize - 1);
+            const Bucket& bucket = buckets_[b];
+            const std::size_t count = bucket.events.size() - bucket.head;
+            if (count == 0)
+                continue;
+            // Recover the bucket's absolute tick: it is the unique tick
+            // in [now_, wheelBase_ + wheelSize) congruent to b.
+            Tick when = (now_ & ~(wheelSize - 1)) | b;
+            if (when < now_)
+                when += wheelSize;
+            snap.headWindow.emplace_back(when, count);
+            ++seen;
+        }
+    }
+    return snap;
 }
 
 } // namespace cbsim

@@ -95,6 +95,41 @@ class EventQueue
     std::size_t pendingEvents() const { return wheelCount_ + far_.size(); }
 
     /**
+     * Install a hook invoked from run() roughly every @p everyEvents
+     * executed events (checked once per dispatched bucket, so the
+     * disabled cost is a single compare). The watchdog uses this to
+     * poll liveness and run interval invariant checks without ever
+     * scheduling events of its own — a self-rescheduling check event
+     * would keep the queue from draining and break quiesce detection.
+     *
+     * The hook runs between buckets (never mid-event) and may throw;
+     * pass nullptr to remove it.
+     */
+    void
+    setPollHook(std::uint64_t everyEvents, EventFn fn)
+    {
+        pollFn_ = std::move(fn);
+        pollEvery_ = everyEvents == 0 ? 1 : everyEvents;
+        nextPollAt_ =
+            pollFn_ ? executed_ + pollEvery_ : ~std::uint64_t{0};
+    }
+
+    /** Head-of-queue picture for forensic dumps (sim layer stays
+     *  JSON-free; debug/forensics serializes this). */
+    struct DebugSnapshot
+    {
+        Tick now = 0;
+        std::uint64_t executed = 0;
+        std::size_t pending = 0;
+        std::size_t farPending = 0;
+        Tick farMin = 0;        ///< valid iff farPending > 0
+        /** (tick, event count) for the next few occupied wheel ticks. */
+        std::vector<std::pair<Tick, std::size_t>> headWindow;
+    };
+
+    DebugSnapshot debugSnapshot(std::size_t maxHeadTicks = 8) const;
+
+    /**
      * Schedule @p fn to fire at absolute tick @p when. The callable is
      * constructed directly in its bucket slot — no intermediate Event
      * move on the hot path.
@@ -302,6 +337,10 @@ class EventQueue
     std::size_t wheelCount_ = 0; ///< pending events in the wheel
     std::uint64_t nextSeq_ = 0;  ///< far events only; monotonic
     std::uint64_t executed_ = 0;
+    /** Next executed_ value at which run() calls pollFn_ (max = never). */
+    std::uint64_t nextPollAt_ = ~std::uint64_t{0};
+    std::uint64_t pollEvery_ = 0;
+    EventFn pollFn_;
 };
 
 } // namespace cbsim

@@ -29,6 +29,18 @@ class PanicError : public std::logic_error
     explicit PanicError(const std::string& what) : std::logic_error(what) {}
 };
 
+/**
+ * Exception thrown when a run exceeds its wall-clock budget (see
+ * DebugConfig::wallTimeoutS). A FatalError subtype — a timeout is an
+ * operational limit, not a simulator bug — that callers like the sweep
+ * runner can distinguish to report "timeout" rather than "failed".
+ */
+class TimeoutError : public FatalError
+{
+  public:
+    explicit TimeoutError(const std::string& what) : FatalError(what) {}
+};
+
 namespace detail {
 
 void logMessage(const char* level, const std::string& msg);

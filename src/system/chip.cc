@@ -2,7 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 
+#include "debug/fault_injection.hh"
+#include "debug/forensics.hh"
+#include "debug/invariant_checker.hh"
+#include "debug/noc_tracker.hh"
+#include "debug/watchdog.hh"
+#include "harness/json.hh"
 #include "sim/log.hh"
 
 namespace cbsim {
@@ -30,10 +37,12 @@ Chip::Chip(const ChipConfig& cfg)
                 i, node, eq_, mesh_, data_, cfg_.l1, cfg_.l1Latency, n,
                 cfg_.backoff.pauseDelay);
             l1->registerStats(stats_, "l1." + std::to_string(i));
+            mesiL1s_.push_back(l1.get());
             auto bank = std::make_unique<MesiLlcBank>(
                 static_cast<BankId>(i), eq_, mesh_, data_, memory_,
                 cfg_.llcBank, cfg_.llc);
             bank->registerStats(stats_, "llc." + std::to_string(i));
+            mesiBanks_.push_back(bank.get());
             l1s_.push_back(std::move(l1));
             banks_.push_back(std::move(bank));
         } else {
@@ -47,6 +56,7 @@ Chip::Chip(const ChipConfig& cfg)
                 cfg_.llcBank, cfg_.llc, cfg_.cbEntriesPerBank,
                 cfg_.cbDirLatency, n);
             bank->registerStats(stats_, "llc." + std::to_string(i));
+            vipsBanks_.push_back(bank.get());
             l1s_.push_back(std::move(l1));
             banks_.push_back(std::move(bank));
         }
@@ -73,7 +83,71 @@ Chip::Chip(const ChipConfig& cfg)
                 vipsL1s_.at(prev_owner)->reclassifyPage(page_base);
             });
     }
+
+    buildDebug();
 }
+
+/**
+ * Construct whichever robustness components the debug config asks for.
+ * With everything off (the default) this creates nothing and installs
+ * nothing — the hot paths see only null-pointer compares.
+ */
+void
+Chip::buildDebug()
+{
+    const DebugConfig& dbg = cfg_.debug;
+
+    if (dbg.faults.enabled()) {
+        faults_ = std::make_unique<FaultInjector>(dbg.faults);
+        // Protocol-level injection sites exist only on VIPS (callback
+        // directory, self-invalidation); a MESI chip under a fault plan
+        // still gets the NoC delay perturbation below.
+        for (VipsL1* l1 : vipsL1s_)
+            l1->setFaultInjector(faults_.get());
+        for (VipsLlcBank* bank : vipsBanks_)
+            bank->setFaultInjector(faults_.get());
+    }
+
+    if (dbg.trackMessagesEffective()) {
+        nocTracker_ = std::make_unique<NocTracker>();
+        mesh_.setDebug(nocTracker_.get(), faults_.get());
+    }
+
+    if (dbg.checkInvariants) {
+        InvariantChecker::Sources src;
+        for (const auto& core : cores_)
+            src.cores.push_back(core.get());
+        src.mesiL1s = {mesiL1s_.begin(), mesiL1s_.end()};
+        src.mesiBanks = {mesiBanks_.begin(), mesiBanks_.end()};
+        src.vipsL1s = {vipsL1s_.begin(), vipsL1s_.end()};
+        src.vipsBanks = {vipsBanks_.begin(), vipsBanks_.end()};
+        if (cfg_.protocol == ProtocolKind::Vips)
+            src.classifier = &classifier_;
+        src.noc = nocTracker_.get();
+        checker_ = std::make_unique<InvariantChecker>(std::move(src));
+    }
+
+    if (dbg.wantsPolling()) {
+        Watchdog::Hooks hooks;
+        hooks.progressCounter = [this] {
+            std::uint64_t sum = 0;
+            for (const auto& core : cores_)
+                sum += core->instructionsRetired();
+            return sum;
+        };
+        if (checker_ != nullptr) {
+            hooks.checkInvariants = [this] {
+                InvariantChecker::enforce("interval",
+                                          checker_->checkInterval());
+            };
+        }
+        watchdog_ =
+            std::make_unique<Watchdog>(eq_, dbg, std::move(hooks));
+        watchdog_->install();
+    }
+}
+
+Chip::~Chip() = default;
 
 void
 Chip::setProgram(CoreId core, Program program)
@@ -93,14 +167,30 @@ Chip::run()
     const auto t0 = std::chrono::steady_clock::now();
     for (auto& core : cores_)
         core->start();
-    eq_.run(cfg_.maxTicks);
+    try {
+        eq_.run(cfg_.maxTicks);
+    } catch (const std::exception& e) {
+        // Tick-budget exhaustion, watchdog trips, and invariant panics
+        // all surface here; attach the machine state before rethrowing.
+        dumpForensics(e.what());
+        throw;
+    }
     const double sim_wall_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)
             .count();
     if (finished_ != cfg_.numCores) {
+        dumpForensics("quiesce failure: event queue drained with "
+                      "unfinished cores");
         fatal("deadlock: only ", finished_, " of ", cfg_.numCores,
               " cores finished");
+    }
+    if (checker_ != nullptr) {
+        const auto violations = checker_->checkQuiesce();
+        if (!violations.empty()) {
+            dumpForensics("quiesce invariant violations");
+            InvariantChecker::enforce("quiesce", violations);
+        }
     }
     // Execution time is the last core's completion; the queue may drain
     // later due to harmless residual events (e.g., spin-watch timeouts).
@@ -111,6 +201,96 @@ Chip::run()
     result.events = eq_.executedEvents();
     result.simWallMs = sim_wall_ms;
     return result;
+}
+
+std::vector<std::string>
+Chip::checkInvariantsNow() const
+{
+    if (checker_ == nullptr)
+        return {};
+    return checker_->checkQuiesce();
+}
+
+std::string
+Chip::dumpForensics(const std::string& reason)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("schema", forensics::kSchema);
+        w.field("reason", reason);
+        w.field("label", cfg_.debug.label);
+        w.field("protocol",
+                cfg_.protocol == ProtocolKind::Mesi ? "mesi" : "vips");
+        w.field("num_cores", cfg_.numCores);
+        w.field("finished_cores", finished_);
+        w.field("now", eq_.now());
+
+        const EventQueue::DebugSnapshot snap = eq_.debugSnapshot();
+        w.key("event_queue");
+        w.beginObject();
+        w.field("executed", snap.executed);
+        w.field("pending", static_cast<std::uint64_t>(snap.pending));
+        w.field("far_pending",
+                static_cast<std::uint64_t>(snap.farPending));
+        w.field("far_min", snap.farMin);
+        w.key("head_window");
+        w.beginArray();
+        for (const auto& [when, count] : snap.headWindow) {
+            w.beginObject();
+            w.field("tick", when);
+            w.field("events", static_cast<std::uint64_t>(count));
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+
+        w.key("cores");
+        w.beginArray();
+        for (const auto& core : cores_)
+            core->dumpDebug(w);
+        w.endArray();
+
+        w.key("l1s");
+        w.beginArray();
+        for (const auto& l1 : l1s_)
+            l1->dumpDebug(w);
+        w.endArray();
+
+        w.key("banks");
+        w.beginArray();
+        for (const auto& bank : banks_)
+            bank->dumpDebug(w);
+        w.endArray();
+
+        w.key("noc_in_flight");
+        if (nocTracker_ != nullptr) {
+            w.beginArray();
+            nocTracker_->forEachInFlight(
+                [&w](const Message& m, NodeId at, Tick injected) {
+                    w.beginObject();
+                    w.field("message", m.toString());
+                    w.field("at_node", static_cast<unsigned>(at));
+                    w.field("injected_at", injected);
+                    w.endObject();
+                });
+            w.endArray();
+        } else {
+            w.null();
+        }
+
+        if (checker_ != nullptr) {
+            // Best effort: the dump may itself be reporting a violation.
+            w.key("invariant_violations");
+            w.beginArray();
+            for (const std::string& v : checker_->checkQuiesce())
+                w.value(v);
+            w.endArray();
+        }
+        w.endObject();
+    }
+    return forensics::emitReport(cfg_.debug, os.str());
 }
 
 const CallbackDirectory&

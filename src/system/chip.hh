@@ -9,6 +9,7 @@
 #define CBSIM_SYSTEM_CHIP_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "coherence/mesi/mesi_l1.hh"
@@ -24,11 +25,17 @@
 
 namespace cbsim {
 
+class Watchdog;
+class InvariantChecker;
+class FaultInjector;
+class NocTracker;
+
 /** A complete simulated CMP. Build, load programs, run once. */
 class Chip
 {
   public:
     explicit Chip(const ChipConfig& cfg);
+    ~Chip(); // out-of-line: debug members are incomplete types here
 
     /** Load @p program onto core @p core (before run()). */
     void setProgram(CoreId core, Program program);
@@ -54,7 +61,20 @@ class Chip
 
     unsigned finishedCores() const { return finished_; }
 
+    /**
+     * Compose the forensic JSON report for the current machine state
+     * (docs/ROBUSTNESS.md §Forensics) and emit it via
+     * forensics::emitReport. Called automatically when run() fails;
+     * public so tests can validate the schema directly.
+     * @return the forensic file path, or "" if only stderr was written
+     */
+    std::string dumpForensics(const std::string& reason);
+
+    /** Run the quiesce-time invariant pass now (empty = clean). */
+    std::vector<std::string> checkInvariantsNow() const;
+
   private:
+    void buildDebug();
     ChipConfig cfg_;
     EventQueue eq_;
     StatSet stats_;
@@ -67,7 +87,16 @@ class Chip
     std::vector<std::unique_ptr<L1Controller>> l1s_;
     std::vector<std::unique_ptr<LlcBank>> banks_;
     std::vector<std::unique_ptr<Core>> cores_;
-    std::vector<VipsL1*> vipsL1s_; ///< non-owning, VIPS only
+    std::vector<VipsL1*> vipsL1s_;         ///< non-owning, VIPS only
+    std::vector<VipsLlcBank*> vipsBanks_;  ///< non-owning, VIPS only
+    std::vector<MesiL1*> mesiL1s_;         ///< non-owning, MESI only
+    std::vector<MesiLlcBank*> mesiBanks_;  ///< non-owning, MESI only
+
+    /** Robustness subsystem; all null when the debug config is off. */
+    std::unique_ptr<FaultInjector> faults_;
+    std::unique_ptr<NocTracker> nocTracker_;
+    std::unique_ptr<InvariantChecker> checker_;
+    std::unique_ptr<Watchdog> watchdog_;
 
     unsigned finished_ = 0;
     bool ran_ = false;

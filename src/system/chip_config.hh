@@ -11,6 +11,7 @@
 
 #include "coherence/backoff/backoff.hh"
 #include "coherence/mesi/mesi_llc.hh"
+#include "debug/debug_config.hh"
 #include "mem/cache_array.hh"
 #include "noc/mesh.hh"
 
@@ -69,6 +70,13 @@ struct ChipConfig
 
     /** Deadlock/livelock guard for EventQueue::run. */
     Tick maxTicks = 4'000'000'000ULL;
+
+    /**
+     * Robustness settings (watchdog, invariant checker, fault
+     * injection). Defaults to the resolved process/thread configuration
+     * at the moment the ChipConfig is constructed (see debug_config.hh).
+     */
+    DebugConfig debug = DebugConfig::current();
 
     /**
      * Build the configuration for one of the paper's techniques with a

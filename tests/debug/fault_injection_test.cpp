@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Fault injector tests: decisions are a pure function of (plan, site,
+ * call count), the eviction-storm period triggers exactly, delays stay
+ * inside their configured bounds, and the per-site Rng streams are
+ * independent of one another (enabling one fault class must not shift
+ * the sequence another class sees).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "debug/fault_injection.hh"
+
+namespace cbsim {
+namespace {
+
+FaultPlan
+stormPlan(std::uint64_t seed)
+{
+    FaultPlan p;
+    p.seed = seed;
+    p.cbEvictPeriod = 7;
+    p.cbEvictChance = 0.02;
+    p.nocDelayChance = 0.05;
+    p.nocDelayMax = 6;
+    p.selfInvlChance = 0.25;
+    p.selfInvlDelayMax = 12;
+    return p;
+}
+
+TEST(FaultPlan, EnabledOnlyWhenSomeFaultIsConfigured)
+{
+    FaultPlan p;
+    EXPECT_FALSE(p.enabled());
+    p.cbEvictPeriod = 5;
+    EXPECT_TRUE(p.enabled());
+    p = FaultPlan();
+    p.cbEvictChance = 0.1;
+    EXPECT_TRUE(p.enabled());
+    p = FaultPlan();
+    p.nocDelayChance = 0.1;
+    EXPECT_TRUE(p.enabled());
+    p = FaultPlan();
+    p.selfInvlChance = 0.1;
+    EXPECT_TRUE(p.enabled());
+}
+
+TEST(FaultInjector, SamePlanGivesIdenticalDecisionSequences)
+{
+    FaultInjector a(stormPlan(42));
+    FaultInjector b(stormPlan(42));
+    for (int i = 0; i < 2000; ++i) {
+        EXPECT_EQ(a.cbEvictNow(), b.cbEvictNow()) << "op " << i;
+        EXPECT_EQ(a.nocDelay(), b.nocDelay()) << "op " << i;
+        EXPECT_EQ(a.selfInvlDelay(), b.selfInvlDelay()) << "op " << i;
+    }
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge)
+{
+    FaultInjector a(stormPlan(1));
+    FaultInjector b(stormPlan(2));
+    bool diverged = false;
+    for (int i = 0; i < 2000 && !diverged; ++i) {
+        diverged = a.cbEvictNow() != b.cbEvictNow() ||
+                   a.nocDelay() != b.nocDelay() ||
+                   a.selfInvlDelay() != b.selfInvlDelay();
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjector, EvictPeriodFiresOnExactlyEveryNthOp)
+{
+    FaultPlan p;
+    p.seed = 7;
+    p.cbEvictPeriod = 3; // chance 0: only the period can trigger
+    FaultInjector fi(p);
+    for (int op = 1; op <= 30; ++op)
+        EXPECT_EQ(fi.cbEvictNow(), op % 3 == 0) << "op " << op;
+}
+
+TEST(FaultInjector, DelaysStayInsideTheConfiguredBounds)
+{
+    FaultPlan p;
+    p.seed = 11;
+    p.nocDelayChance = 1.0; // always fires: exercise the range
+    p.nocDelayMax = 6;
+    p.selfInvlChance = 0.5;
+    p.selfInvlDelayMax = 12;
+    FaultInjector fi(p);
+    bool sawNonMax = false;
+    for (int i = 0; i < 500; ++i) {
+        const Tick d = fi.nocDelay();
+        EXPECT_GE(d, 1u);
+        EXPECT_LE(d, 6u);
+        sawNonMax = sawNonMax || d < 6;
+        const Tick s = fi.selfInvlDelay();
+        EXPECT_LE(s, 12u); // 0 when the coin says no
+    }
+    EXPECT_TRUE(sawNonMax) << "range() never drew below the max";
+}
+
+TEST(FaultInjector, DisabledSitesNeverFire)
+{
+    FaultPlan p;
+    p.seed = 3;
+    p.cbEvictChance = 1.0; // only the callback site is armed
+    FaultInjector fi(p);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(fi.cbEvictNow());
+        EXPECT_EQ(fi.nocDelay(), 0u);
+        EXPECT_EQ(fi.selfInvlDelay(), 0u);
+    }
+}
+
+TEST(FaultInjector, SitesDrawFromIndependentStreams)
+{
+    // Interleaving draws at one site must not change the sequence
+    // another site produces.
+    FaultInjector pure(stormPlan(99));
+    std::vector<Tick> expected;
+    for (int i = 0; i < 200; ++i)
+        expected.push_back(pure.nocDelay());
+
+    FaultInjector mixed(stormPlan(99));
+    for (int i = 0; i < 200; ++i) {
+        mixed.cbEvictNow();
+        mixed.selfInvlDelay();
+        EXPECT_EQ(mixed.nocDelay(), expected[static_cast<size_t>(i)])
+            << "draw " << i;
+    }
+}
+
+TEST(FaultInjector, ForcedEvictionCounterAccumulates)
+{
+    FaultInjector fi(stormPlan(1));
+    EXPECT_EQ(fi.cbForcedEvictions(), 0u);
+    fi.noteCbForcedEviction();
+    fi.noteCbForcedEviction();
+    EXPECT_EQ(fi.cbForcedEvictions(), 2u);
+}
+
+} // namespace
+} // namespace cbsim

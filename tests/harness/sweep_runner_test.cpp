@@ -10,6 +10,7 @@
 
 #include <atomic>
 
+#include "debug/debug_config.hh"
 #include "harness/result_sink.hh"
 #include "harness/sweep.hh"
 #include "sync/locks.hh"
@@ -173,8 +174,84 @@ TEST(ResultSink, EscapesAndStructuresJson)
     const std::string json = sink.toJson();
     EXPECT_NE(json.find("\"quote\\\"and\\\\slash\""), std::string::npos);
     EXPECT_NE(json.find("line1\\nline2\\ttab"), std::string::npos);
-    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
     EXPECT_NE(json.find("a \\\"quoted\\\" value"), std::string::npos);
+}
+
+TEST(ResultSink, EveryRowCarriesAStatusString)
+{
+    SweepRunner runner(2);
+    runner.add(tinyMicro("fine", SyncMicro::ClhLock, Technique::CbOne));
+    runner.add(SweepJob::custom("broken", runGuardViolation));
+    const auto outcomes = runner.run();
+
+    EXPECT_EQ(outcomes[0].status, JobStatus::Ok);
+    EXPECT_EQ(outcomes[1].status, JobStatus::Failed);
+
+    ResultSink sink("status_test");
+    for (std::size_t i = 0; i < outcomes.size(); ++i)
+        sink.add(runner.job(i), outcomes[i]);
+    const std::string json = sink.toJson();
+    EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+    EXPECT_NE(json.find("\"status\": \"failed\""), std::string::npos);
+    // Failed rows keep their error text in place of metrics.
+    EXPECT_NE(json.find("\"error\""), std::string::npos);
+}
+
+TEST(SweepRunner, MaxFailuresStopsClaimingNewJobs)
+{
+    // One worker makes the claim order deterministic: the first job
+    // burns the whole failure budget, so the rest must be skipped.
+    SweepRunner runner(1);
+    runner.setMaxFailures(1);
+    runner.add(SweepJob::custom("bad", runGuardViolation));
+    runner.add(tinyMicro("never-run-1", SyncMicro::TtasLock,
+                         Technique::CbAll));
+    runner.add(tinyMicro("never-run-2", SyncMicro::SrBarrier,
+                         Technique::Invalidation));
+
+    const auto outcomes = runner.run();
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Failed);
+    EXPECT_EQ(outcomes[1].status, JobStatus::Skipped);
+    EXPECT_EQ(outcomes[2].status, JobStatus::Skipped);
+    EXPECT_FALSE(outcomes[1].ok);
+    EXPECT_NE(outcomes[1].error.find("failure budget"),
+              std::string::npos)
+        << outcomes[1].error;
+
+    ResultSink sink("budget_test");
+    for (std::size_t i = 0; i < outcomes.size(); ++i)
+        sink.add(runner.job(i), outcomes[i]);
+    EXPECT_NE(sink.toJson().find("\"status\": \"skipped\""),
+              std::string::npos);
+}
+
+TEST(SweepRunner, JobTimeoutBecomesATimedOutRow)
+{
+    // The watchdog polls the wall clock every checkIntervalEvents
+    // events; tighten the process default so a tiny job still polls.
+    DebugConfig& defaults = DebugConfig::processDefaults();
+    const DebugConfig saved = defaults;
+    defaults.checkIntervalEvents = 20;
+
+    SweepRunner runner(1);
+    runner.setJobTimeoutS(1e-9); // any elapsed wall time trips
+    runner.add(tinyMicro("too-slow", SyncMicro::ClhLock,
+                         Technique::CbOne));
+    const auto outcomes = runner.run();
+    defaults = saved;
+
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_EQ(outcomes[0].status, JobStatus::TimedOut);
+    EXPECT_NE(outcomes[0].error.find("wall-clock"), std::string::npos)
+        << outcomes[0].error;
+
+    ResultSink sink("timeout_test");
+    sink.add(runner.job(0), outcomes[0]);
+    EXPECT_NE(sink.toJson().find("\"status\": \"timeout\""),
+              std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Minimal JSON well-formedness checker for tests (no build deps).
+ *
+ * Validates the artifacts the simulator emits (results JSON, forensic
+ * dumps) without pulling a JSON library into the image: a strict
+ * recursive-descent pass over one JSON value. Content assertions are
+ * done with plain substring checks by the callers; this only guarantees
+ * the emitter produced a parseable document.
+ */
+
+#ifndef CBSIM_TESTS_SUPPORT_JSON_LITE_HH
+#define CBSIM_TESTS_SUPPORT_JSON_LITE_HH
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace cbsim::jsonlite {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string& s) : s_(s) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char* word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (pos_ >= s_.size() || s_[pos_] != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= s_.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(s_[pos_])))
+                            return false;
+                    }
+                } else if (std::string("\"\\/bfnrt").find(e) ==
+                           std::string::npos) {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false; // unterminated
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        std::size_t digits = 0;
+        while (pos_ < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+            ++pos_;
+            ++digits;
+        }
+        if (digits == 0)
+            return false;
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            digits = 0;
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+                ++pos_;
+                ++digits;
+            }
+            if (digits == 0)
+                return false;
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-'))
+                ++pos_;
+            digits = 0;
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+                ++pos_;
+                ++digits;
+            }
+            if (digits == 0)
+                return false;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+};
+
+/** True if @p s is exactly one well-formed JSON document. */
+inline bool
+wellFormed(const std::string& s)
+{
+    return Parser(s).valid();
+}
+
+} // namespace cbsim::jsonlite
+
+#endif // CBSIM_TESTS_SUPPORT_JSON_LITE_HH
