@@ -10,6 +10,10 @@
 #      src/debug/invariant_checker.cc (invariantNames()).
 #   4. Every relative markdown link in the tracked *.md files points at
 #      a file (or file#anchor) that exists.
+#   5. Stat-name coverage: every RunResult::scalarFields() name from
+#      src/system/run_result.cc appears backticked in docs/RESULTS.md,
+#      and every EpochSampler::kFieldNames entry from src/obs/epoch.cc
+#      appears backticked in docs/OBSERVABILITY.md.
 #
 # Usage: scripts/check_docs.sh [repo-root]   (default: script's parent)
 
@@ -90,7 +94,40 @@ if [ -f "${TMPDIR:-/tmp}/check_docs_broken.$$" ]; then
     fail=1
 fi
 
+# ---- 5. stat-name coverage --------------------------------------------------
+if [ ! -f docs/RESULTS.md ]; then
+    err "docs/RESULTS.md is missing"
+else
+    # Metric names are the double-quoted strings in the scalarFields()
+    # initializer list (one {"name", value} pair per line).
+    fields=$(sed -n '/scalarFields() const/,/^}/p' \
+                 src/system/run_result.cc \
+        | grep -o '"[a-z][a-z0-9_]*"' | tr -d '"' | sort -u)
+    [ -n "$fields" ] || \
+        err "could not parse scalarFields() from src/system/run_result.cc"
+    for f in $fields; do
+        if ! grep -q "\`$f\`" docs/RESULTS.md; then
+            err "metric $f is not documented in docs/RESULTS.md"
+        fi
+    done
+fi
+if [ ! -f docs/OBSERVABILITY.md ]; then
+    err "docs/OBSERVABILITY.md is missing"
+else
+    # Epoch field names are declared one per line in the kFieldNames
+    # initializer precisely so they can be extracted here.
+    efields=$(sed -n '/kFieldNames = {/,/};/p' src/obs/epoch.cc \
+        | grep -o '"[a-z][a-z0-9_]*"' | tr -d '"' | sort -u)
+    [ -n "$efields" ] || \
+        err "could not parse EpochSampler::kFieldNames from src/obs/epoch.cc"
+    for f in $efields; do
+        if ! grep -q "\`$f\`" docs/OBSERVABILITY.md; then
+            err "epoch field $f is not documented in docs/OBSERVABILITY.md"
+        fi
+    done
+fi
+
 if [ "$fail" -eq 0 ]; then
-    echo "check_docs: OK (subsystems, opcodes, links)"
+    echo "check_docs: OK (subsystems, opcodes, invariants, links, stats)"
 fi
 exit $fail

@@ -1,0 +1,93 @@
+#!/usr/bin/env sh
+# Line-coverage ratchet, run as a ctest entry (like check_docs.sh).
+#
+# Drives a nested -DCBSIM_COVERAGE=ON Debug build of the unit-test
+# binaries, runs them, aggregates line coverage over src/, and fails
+# when the percentage drops below the checked-in floor
+# (scripts/coverage_floor.txt). Raise the floor when coverage improves —
+# it only ratchets upward via review, never silently.
+#
+# Toolchain: uses gcovr when available, else falls back to parsing
+# plain `gcov -n` summaries (no extra packages needed). Exits 77
+# (ctest SKIP) when neither tool can run.
+#
+# Usage: scripts/coverage.sh [repo-root [build-dir]]
+
+set -u
+
+root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+build=${2:-$root/build/coverage}
+floor_file="$root/scripts/coverage_floor.txt"
+
+if ! command -v gcov >/dev/null 2>&1 && ! command -v gcovr >/dev/null 2>&1
+then
+    echo "coverage: no gcov/gcovr in PATH; skipping" >&2
+    exit 77
+fi
+
+# The unit-test binaries the ratchet measures (the cbsim_test targets;
+# soak and the nested-build ctest entries are excluded on purpose).
+targets="sim_test noc_test mem_test isa_test callback_test protocol_test \
+sync_test workload_test obs_test harness_test debug_test integration_test"
+
+cmake -S "$root" -B "$build" -DCMAKE_BUILD_TYPE=Debug \
+      -DCBSIM_COVERAGE=ON >/dev/null || exit 1
+# shellcheck disable=SC2086  # target list is intentionally split
+cmake --build "$build" -j "$(nproc)" --target $targets >/dev/null || exit 1
+
+# Fresh counters per run: stale .gcda from a previous invocation would
+# inflate the number and defeat the ratchet.
+find "$build" -name '*.gcda' -delete
+
+for t in $targets; do
+    if ! "$build/tests/$t" --gtest_brief=1 >/dev/null; then
+        echo "coverage: $t failed" >&2
+        exit 1
+    fi
+done
+
+if command -v gcovr >/dev/null 2>&1; then
+    pct=$(gcovr --root "$root" --filter "$root/src/" --print-summary \
+                "$build" 2>/dev/null \
+          | sed -n 's/^lines: \([0-9.]*\)%.*/\1/p')
+else
+    # Plain-gcov fallback: emit per-file summaries ("File '...'" then
+    # "Lines executed:P% of N") for every .gcda, keep files under src/,
+    # and aggregate executed = sum(P/100 * N) over total = sum(N).
+    pct=$(find "$build" -name '*.gcda' | while IFS= read -r gcda; do
+              gcov -n -o "$(dirname "$gcda")" "$gcda" 2>/dev/null
+          done | awk '
+        /^File / {
+            keep = index($0, "/src/") > 0 || index($0, "src/") == 7
+        }
+        keep && /^Lines executed:/ {
+            split($0, a, ":")
+            split(a[2], b, "% of ")
+            exec_lines += b[1] / 100.0 * b[2]
+            total_lines += b[2]
+            keep = 0
+        }
+        END {
+            if (total_lines == 0) { print "none" }
+            else printf "%.2f", 100.0 * exec_lines / total_lines
+        }')
+fi
+
+if [ -z "${pct:-}" ] || [ "$pct" = "none" ]; then
+    echo "coverage: could not aggregate line coverage; skipping" >&2
+    exit 77
+fi
+
+floor=$(cat "$floor_file" 2>/dev/null)
+if [ -z "${floor:-}" ]; then
+    echo "coverage: missing floor file $floor_file" >&2
+    exit 1
+fi
+
+echo "coverage: src/ line coverage ${pct}% (floor ${floor}%)"
+awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p + 0 >= f + 0) }' || {
+    echo "coverage: FAILED — ${pct}% is below the checked-in floor" \
+         "${floor}% (scripts/coverage_floor.txt)" >&2
+    exit 1
+}
+exit 0

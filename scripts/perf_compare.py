@@ -28,6 +28,11 @@ def load(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     if doc.get("schema") != "cbsim-host-perf":
+        if "runs" in doc and "schema_version" in doc:
+            sys.exit(f"{path}: this is a results artifact (schema "
+                     f"v{doc['schema_version']}, docs/RESULTS.md), not "
+                     "a host-perf artifact; produce inputs with "
+                     "bench_perf_kernel --out")
         sys.exit(f"{path}: not a cbsim-host-perf artifact "
                  f"(schema={doc.get('schema')!r})")
     return doc
@@ -52,12 +57,23 @@ def main():
 
     before = load(args.before)
     after = load(args.after)
-    if before.get("schema_version") != after.get("schema_version"):
+    bv = before.get("schema_version")
+    av = after.get("schema_version")
+    if bv != av:
+        if {bv, av} == {1, 2}:
+            detail = ("events/sec denominators differ (v1 times the "
+                      "full experiment, v2 the event loop) so ratios "
+                      "are not comparable")
+        elif {bv, av} == {2, 3}:
+            detail = ("v3 runs may carry observability instrumentation "
+                      "(epoch sampling / tracing, docs/OBSERVABILITY.md)"
+                      " the v2 run did not; compare only artifacts "
+                      "produced with identical obs settings")
+        else:
+            detail = ("field meanings may differ between versions; "
+                      "treat ratios with suspicion")
         print("warning: artifacts use different schema versions "
-              f"({before.get('schema_version')} vs "
-              f"{after.get('schema_version')}); events/sec denominators "
-              "differ (v1 times the full experiment, v2 the event loop) "
-              "so ratios are not comparable", file=sys.stderr)
+              f"({bv} vs {av}); {detail}", file=sys.stderr)
 
     b_cells = {c["key"]: c for c in before["cells"]}
     a_cells = {c["key"]: c for c in after["cells"]}

@@ -255,13 +255,13 @@ CallbackDirectory::validEntries() const
 }
 
 void
-CallbackDirectory::registerStats(StatSet& stats, const std::string& prefix)
+CallbackDirectory::registerStats(const StatsScope& scope)
 {
-    stats.add(prefix + ".allocations", allocations_);
-    stats.add(prefix + ".evictions", evictions_);
-    stats.add(prefix + ".blocked_reads", blockedReads_);
-    stats.add(prefix + ".immediate_reads", immediateReads_);
-    stats.add(prefix + ".wakeups", wakeups_);
+    scope.add("allocations", allocations_);
+    scope.add("evictions", evictions_);
+    scope.add("blocked_reads", blockedReads_);
+    scope.add("immediate_reads", immediateReads_);
+    scope.add("wakeups", wakeups_);
 }
 
 } // namespace cbsim

@@ -27,6 +27,7 @@
 #include "mem/addr.hh"
 #include "noc/message.hh" // WakePolicy
 #include "sim/types.hh"
+#include "obs/registry.hh"
 #include "stats/stats.hh"
 
 namespace cbsim {
@@ -127,7 +128,7 @@ class CallbackDirectory
      */
     CbReadResult forceEvictOne();
 
-    void registerStats(StatSet& stats, const std::string& prefix);
+    void registerStats(const StatsScope& scope);
 
   private:
     struct Entry

@@ -391,15 +391,15 @@ MesiL1::lineState(Addr addr) const
 }
 
 void
-MesiL1::registerStats(StatSet& stats, const std::string& prefix)
+MesiL1::registerStats(const StatsScope& scope)
 {
-    stats.add(prefix + ".accesses", accesses_);
-    stats.add(prefix + ".hits", hits_);
-    stats.add(prefix + ".misses", misses_);
-    stats.add(prefix + ".invs_received", invsReceived_);
-    stats.add(prefix + ".writebacks", writebacks_);
-    stats.add(prefix + ".spin_parks", spinParks_);
-    stats.add(prefix + ".spin_watch_timeouts", spinWatchTimeouts_);
+    scope.add("accesses", accesses_);
+    scope.add("hits", hits_);
+    scope.add("misses", misses_);
+    scope.add("invs_received", invsReceived_);
+    scope.add("writebacks", writebacks_);
+    scope.add("spin_parks", spinParks_);
+    scope.add("spin_watch_timeouts", spinWatchTimeouts_);
 }
 
 } // namespace cbsim

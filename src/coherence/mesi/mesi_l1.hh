@@ -76,7 +76,7 @@ class MesiL1 : public L1Controller
 
     void dumpDebug(JsonWriter& w) const override;
 
-    void registerStats(StatSet& stats, const std::string& prefix);
+    void registerStats(const StatsScope& scope);
 
   private:
     struct LineInfo

@@ -217,6 +217,7 @@ MesiLlcBank::handleGetX(const Message& msg, Line& line)
         Txn txn;
         txn.request = msg;
         txn.acksLeft = static_cast<unsigned>(std::popcount(to_inv));
+        invFanout_.sample(txn.acksLeft);
         txns_.emplace(line_addr, txn);
         pipe_.access(timing_.tagLatency, [this, to_inv, line_addr, msg] {
             for (CoreId c = 0; c < 64; ++c) {
@@ -365,13 +366,14 @@ MesiLlcBank::dumpDebug(JsonWriter& w) const
 }
 
 void
-MesiLlcBank::registerStats(StatSet& stats, const std::string& prefix)
+MesiLlcBank::registerStats(const StatsScope& scope)
 {
-    stats.add(prefix + ".accesses", accesses_);
-    stats.add(prefix + ".sync_accesses", syncAccesses_);
-    stats.add(prefix + ".invs_sent", invsSent_);
-    stats.add(prefix + ".fills", fills_);
-    stats.add(prefix + ".recalls", recalls_);
+    scope.add("accesses", accesses_);
+    scope.add("sync_accesses", syncAccesses_);
+    scope.add("invs_sent", invsSent_);
+    scope.add("fills", fills_);
+    scope.add("recalls", recalls_);
+    scope.add("inv_fanout", invFanout_);
 }
 
 } // namespace cbsim

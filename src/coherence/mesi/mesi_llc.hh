@@ -69,7 +69,7 @@ class MesiLlcBank : public LlcBank
 
     void dumpDebug(JsonWriter& w) const override;
 
-    void registerStats(StatSet& stats, const std::string& prefix);
+    void registerStats(const StatsScope& scope);
 
   private:
     struct DirInfo
@@ -123,6 +123,11 @@ class MesiLlcBank : public LlcBank
     Counter invsSent_;
     Counter fills_;
     Counter recalls_;
+    /**
+     * Sharers invalidated per write (GetX fanout) — the per-write cost
+     * the callback techniques avoid entirely (paper §2).
+     */
+    Histogram invFanout_;
 };
 
 } // namespace cbsim

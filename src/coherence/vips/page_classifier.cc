@@ -41,10 +41,10 @@ PageClassifier::peek(Addr addr) const
 }
 
 void
-PageClassifier::registerStats(StatSet& stats, const std::string& prefix)
+PageClassifier::registerStats(const StatsScope& scope)
 {
-    stats.add(prefix + ".private_pages", privatePages_);
-    stats.add(prefix + ".transitions", transitions_);
+    scope.add("private_pages", privatePages_);
+    scope.add("transitions", transitions_);
 }
 
 } // namespace cbsim

@@ -18,6 +18,7 @@
 
 #include "mem/addr.hh"
 #include "sim/types.hh"
+#include "obs/registry.hh"
 #include "stats/stats.hh"
 
 namespace cbsim {
@@ -64,7 +65,7 @@ class PageClassifier
         return it->second.owner;
     }
 
-    void registerStats(StatSet& stats, const std::string& prefix);
+    void registerStats(const StatsScope& scope);
 
   private:
     struct PageInfo

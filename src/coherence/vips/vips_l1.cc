@@ -317,14 +317,14 @@ VipsL1::dumpDebug(JsonWriter& w) const
 }
 
 void
-VipsL1::registerStats(StatSet& stats, const std::string& prefix)
+VipsL1::registerStats(const StatsScope& scope)
 {
-    stats.add(prefix + ".accesses", accesses_);
-    stats.add(prefix + ".hits", hits_);
-    stats.add(prefix + ".misses", misses_);
-    stats.add(prefix + ".self_invalidations", selfInvalidations_);
-    stats.add(prefix + ".wt_flushes", wtFlushes_);
-    stats.add(prefix + ".through_ops", throughOps_);
+    scope.add("accesses", accesses_);
+    scope.add("hits", hits_);
+    scope.add("misses", misses_);
+    scope.add("self_invalidations", selfInvalidations_);
+    scope.add("wt_flushes", wtFlushes_);
+    scope.add("through_ops", throughOps_);
 }
 
 } // namespace cbsim

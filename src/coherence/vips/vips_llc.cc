@@ -3,6 +3,7 @@
 #include "debug/fault_injection.hh"
 #include "harness/json.hh"
 #include "mem/addr.hh"
+#include "obs/trace_export.hh"
 #include "sim/log.hh"
 #include "sim/trace.hh"
 
@@ -181,6 +182,8 @@ VipsLlcBank::handleGetCB(const Message& msg)
     if (res.blocked) {
         waiters_[AddrLayout::wordAlign(msg.addr)]
                 [msg.requester] = msg;
+        if (trace_ != nullptr)
+            trace_->park(bank_, msg.requester, eq_.now());
         return; // no LLC access, no response until a write wakes us
     }
     chargeAccess(msg);
@@ -212,6 +215,8 @@ VipsLlcBank::handleAtomic(const Message& msg)
         if (res.blocked) {
             waiters_[AddrLayout::wordAlign(msg.addr)]
                     [msg.requester] = msg;
+            if (trace_ != nullptr)
+                trace_->park(bank_, msg.requester, eq_.now());
             return; // the whole RMW is held off in the callback directory
         }
     } else {
@@ -265,6 +270,8 @@ VipsLlcBank::processWakes(Addr word, const std::vector<CoreId>& initial,
             waiters_.erase(word_it);
 
         wakesSent_.inc();
+        if (trace_ != nullptr)
+            trace_->wake(bank_, c, eq_.now(), evicted);
         CBSIM_TRACE(TraceCategory::CbDir, eq_.now(), word,
                     "bank " << bank_ << " wake core " << c << " word=0x"
                             << std::hex << word << std::dec
@@ -283,6 +290,8 @@ VipsLlcBank::processWakes(Addr word, const std::vector<CoreId>& initial,
             executeRmw(req, queue);
         }
     }
+    if (!queue.empty())
+        wakeBatch_.sample(queue.size());
 }
 
 void
@@ -357,14 +366,15 @@ VipsLlcBank::dumpDebug(JsonWriter& w) const
 }
 
 void
-VipsLlcBank::registerStats(StatSet& stats, const std::string& prefix)
+VipsLlcBank::registerStats(const StatsScope& scope)
 {
-    stats.add(prefix + ".accesses", accesses_);
-    stats.add(prefix + ".sync_accesses", syncAccesses_);
-    stats.add(prefix + ".cbdir_accesses", cbdirAccesses_);
-    stats.add(prefix + ".fills", fills_);
-    stats.add(prefix + ".wakes_sent", wakesSent_);
-    cbdir_.registerStats(stats, prefix + ".cbdir");
+    scope.add("accesses", accesses_);
+    scope.add("sync_accesses", syncAccesses_);
+    scope.add("cbdir_accesses", cbdirAccesses_);
+    scope.add("fills", fills_);
+    scope.add("wakes_sent", wakesSent_);
+    scope.add("wake_batch", wakeBatch_);
+    cbdir_.registerStats(scope.scope("cbdir"));
 }
 
 } // namespace cbsim

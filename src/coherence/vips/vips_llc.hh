@@ -30,6 +30,7 @@
 namespace cbsim {
 
 class FaultInjector;
+class TraceExporter;
 
 /** One VIPS LLC bank with its slice of the callback directory. */
 class VipsLlcBank : public LlcBank
@@ -62,9 +63,16 @@ class VipsLlcBank : public LlcBank
      */
     void setFaultInjector(FaultInjector* f) { faults_ = f; }
 
+    /**
+     * Enable trace export: every park in and wake from this bank's
+     * callback directory becomes an instant event on its track. Null
+     * (default) costs one compare per park/wake.
+     */
+    void setTrace(TraceExporter* trace) { trace_ = trace; }
+
     void dumpDebug(JsonWriter& w) const override;
 
-    void registerStats(StatSet& stats, const std::string& prefix);
+    void registerStats(const StatsScope& scope);
 
   private:
     struct LineInfo
@@ -118,6 +126,7 @@ class VipsLlcBank : public LlcBank
     LineLockTable locks_;
     CallbackDirectory cbdir_;
     FaultInjector* faults_ = nullptr;
+    TraceExporter* trace_ = nullptr;
 
     /** Parked blocked callback requests: word -> core -> request. */
     std::unordered_map<Addr, std::map<CoreId, Message>> waiters_;
@@ -127,6 +136,11 @@ class VipsLlcBank : public LlcBank
     Counter cbdirAccesses_;
     Counter fills_;
     Counter wakesSent_;
+    /**
+     * Waiters satisfied per wake cascade (a store's st_cbA burst vs
+     * st_cb1's strict hand-off of one).
+     */
+    Histogram wakeBatch_;
 };
 
 } // namespace cbsim

@@ -1,20 +1,19 @@
 #include "core/core.hh"
 
 #include "harness/json.hh"
+#include "obs/trace_export.hh"
 #include "sim/log.hh"
 
 namespace cbsim {
 
 void
-SyncStats::registerStats(StatSet& stats)
+SyncStats::registerStats(const StatsScope& scope)
 {
     for (std::size_t k = 1; k < numKinds; ++k) {
-        const auto kind = static_cast<SyncKind>(k);
-        stats.add(std::string("sync.") + syncKindName(kind) + ".latency",
-                  latency[k]);
-        stats.add(std::string("sync.") + syncKindName(kind) +
-                      ".completions",
-                  completions[k]);
+        const StatsScope kind =
+            scope.scope(syncKindName(static_cast<SyncKind>(k)));
+        kind.add("latency", latency[k]);
+        kind.add("completions", completions[k]);
     }
 }
 
@@ -239,8 +238,17 @@ Core::completeMemory(Word value)
     const Instruction& ins = *pendingIns_;
     const Tick stalled = eq_.now() - issuedAt_;
     stallCycles_.inc(stalled);
-    if (pendingBlockingCb_)
+    stallLatency_.sample(stalled);
+    if (pendingBlockingCb_) {
         cbBlockedCycles_.inc(stalled);
+        cbWakeLatency_.sample(stalled);
+    }
+    if (trace_ != nullptr) {
+        const char* state = pendingBlockingCb_ ? "cbdir-blocked"
+                            : ins.spin         ? "spin"
+                                               : "mem";
+        trace_->coreSlice(id_, state, issuedAt_, eq_.now());
+    }
     switch (ins.op) {
       case Opcode::Ld:
       case Opcode::LdThrough:
@@ -279,14 +287,16 @@ Core::dumpDebug(JsonWriter& w) const
 }
 
 void
-Core::registerStats(StatSet& stats, const std::string& prefix)
+Core::registerStats(const StatsScope& scope)
 {
-    stats.add(prefix + ".instructions", instructions_);
-    stats.add(prefix + ".mem_ops", memOps_);
-    stats.add(prefix + ".spin_retries", spinRetries_);
-    stats.add(prefix + ".backoff_cycles", backoffCycles_);
-    stats.add(prefix + ".stall_cycles", stallCycles_);
-    stats.add(prefix + ".cb_blocked_cycles", cbBlockedCycles_);
+    scope.add("instructions", instructions_);
+    scope.add("mem_ops", memOps_);
+    scope.add("spin_retries", spinRetries_);
+    scope.add("backoff_cycles", backoffCycles_);
+    scope.add("stall_cycles", stallCycles_);
+    scope.add("cb_blocked_cycles", cbBlockedCycles_);
+    scope.add("stall_latency", stallLatency_);
+    scope.add("cb_wake_latency", cbWakeLatency_);
 }
 
 } // namespace cbsim

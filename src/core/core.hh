@@ -17,12 +17,14 @@
 #include "coherence/backoff/backoff.hh"
 #include "coherence/controller.hh"
 #include "isa/assembler.hh"
+#include "obs/registry.hh"
 #include "sim/event_queue.hh"
 #include "stats/stats.hh"
 
 namespace cbsim {
 
 class JsonWriter;
+class TraceExporter;
 
 /** Chip-wide synchronization instrumentation shared by all cores. */
 struct SyncStats
@@ -33,7 +35,7 @@ struct SyncStats
     std::array<Histogram, numKinds> latency;
     std::array<Counter, numKinds> completions;
 
-    void registerStats(StatSet& stats);
+    void registerStats(const StatsScope& scope);
 };
 
 /** A single in-order core executing a mini-ISA program. */
@@ -91,7 +93,14 @@ class Core : public Clocked
      */
     void dumpDebug(JsonWriter& w) const;
 
-    void registerStats(StatSet& stats, const std::string& prefix);
+    void registerStats(const StatsScope& scope);
+
+    /**
+     * Enable trace export: each completed memory stall becomes a
+     * duration slice on this core's track. Null (default) costs one
+     * compare per completion.
+     */
+    void setTrace(TraceExporter* trace) { trace_ = trace; }
 
   private:
     /** Clocked wake-up: resume execution (see scheduleTick sites). */
@@ -144,6 +153,17 @@ class Core : public Clocked
      * bench_ablation_pause).
      */
     Counter cbBlockedCycles_;
+
+    /** Distribution of per-operation memory stall times. */
+    Histogram stallLatency_;
+    /**
+     * Distribution of blocking-callback wait times (park to wake-up
+     * response) — the wake-up latency tail the callback mechanism is
+     * judged on.
+     */
+    Histogram cbWakeLatency_;
+
+    TraceExporter* trace_ = nullptr;
 };
 
 } // namespace cbsim

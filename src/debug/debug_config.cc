@@ -21,6 +21,14 @@ fromEnvironment()
         cfg.checkInvariants = true;
     if (const char* dir = std::getenv("CBSIM_FORENSIC_DIR"))
         cfg.forensicDir = dir;
+    if (const char* epoch = std::getenv("CBSIM_OBS_EPOCH")) {
+        char* end = nullptr;
+        const unsigned long long ticks = std::strtoull(epoch, &end, 10);
+        if (end != epoch)
+            cfg.obs.epochTicks = static_cast<Tick>(ticks);
+    }
+    if (const char* dir = std::getenv("CBSIM_TRACE_DIR"))
+        cfg.obs.traceDir = dir;
     return cfg;
 }
 

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/obs_config.hh"
 #include "sim/types.hh"
 
 namespace cbsim {
@@ -110,6 +111,13 @@ struct DebugConfig
     std::string label = "run";
 
     FaultPlan faults;
+
+    /**
+     * Observability settings (epoch sampling, trace export — see
+     * docs/OBSERVABILITY.md). Carried here so they resolve through the
+     * same env → DebugScope → ChipConfig layering as everything else.
+     */
+    ObsConfig obs;
 
     bool
     trackMessagesEffective() const

@@ -63,10 +63,29 @@ writeMetrics(JsonWriter& w, const RunResult& r)
         w.field("total_latency", s.totalLatency);
         w.field("mean_latency", s.meanLatency);
         w.field("max_latency", s.maxLatency);
+        w.field("p50_latency", s.p50Latency);
+        w.field("p95_latency", s.p95Latency);
         w.field("p99_latency", s.p99Latency);
         w.endObject();
     }
     w.endArray();
+
+    // Present only when epoch sampling ran (CBSIM_OBS_EPOCH / ObsConfig)
+    // — artifacts from plain runs stay byte-identical to obs-off runs.
+    if (!r.epochs.empty()) {
+        w.key("epochs");
+        w.beginArray();
+        for (const EpochRow& row : r.epochs) {
+            w.beginObject();
+            w.field(EpochSampler::kFieldNames[0], row.tick);
+            w.field(EpochSampler::kFieldNames[1], row.llcAccesses);
+            w.field(EpochSampler::kFieldNames[2], row.flitHops);
+            w.field(EpochSampler::kFieldNames[3], row.packets);
+            w.field(EpochSampler::kFieldNames[4], row.blockedCores);
+            w.endObject();
+        }
+        w.endArray();
+    }
 }
 
 void

@@ -32,8 +32,11 @@ class ResultSink
      * Bump when the JSON layout changes; emitted as schema_version.
      * v2: per-run "status" string ("ok"/"failed"/"timeout"/"skipped")
      *     next to the "ok" bool (docs/RESULTS.md).
+     * v3: sync-latency percentiles (metrics sync_*_p50/p95/p99 and
+     *     per-kind p50/p95 rows) and the optional per-run "epochs"
+     *     time-series array (docs/OBSERVABILITY.md).
      */
-    static constexpr unsigned kSchemaVersion = 2;
+    static constexpr unsigned kSchemaVersion = 3;
 
     explicit ResultSink(std::string bench_name);
 

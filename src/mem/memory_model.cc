@@ -2,11 +2,12 @@
 
 namespace cbsim {
 
-MemoryModel::MemoryModel(EventQueue& eq, Tick latency, StatSet& stats)
+MemoryModel::MemoryModel(EventQueue& eq, Tick latency,
+                         const StatsScope& scope)
     : eq_(eq), latency_(latency)
 {
-    stats.add("mem.reads", reads_);
-    stats.add("mem.writes", writes_);
+    scope.add("reads", reads_);
+    scope.add("writes", writes_);
 }
 
 void

@@ -12,6 +12,7 @@
 
 #include <functional>
 
+#include "obs/registry.hh"
 #include "sim/event_queue.hh"
 #include "stats/stats.hh"
 
@@ -21,7 +22,7 @@ namespace cbsim {
 class MemoryModel
 {
   public:
-    MemoryModel(EventQueue& eq, Tick latency, StatSet& stats);
+    MemoryModel(EventQueue& eq, Tick latency, const StatsScope& scope);
 
     /**
      * Issue a read of @p addr's line; @p done fires after the latency.

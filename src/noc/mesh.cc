@@ -10,7 +10,7 @@
 
 namespace cbsim {
 
-Mesh::Mesh(EventQueue& eq, const NocConfig& cfg, StatSet& stats)
+Mesh::Mesh(EventQueue& eq, const NocConfig& cfg, const StatsScope& scope)
     : eq_(eq), cfg_(cfg),
       widthPow2_(std::has_single_bit(cfg.width)),
       widthShift_(static_cast<unsigned>(std::countr_zero(cfg.width))),
@@ -19,14 +19,13 @@ Mesh::Mesh(EventQueue& eq, const NocConfig& cfg, StatSet& stats)
 {
     if (cfg_.width == 0 || cfg_.height == 0)
         fatal("mesh dimensions must be non-zero");
-    stats.add("noc.packets", packets_);
-    stats.add("noc.flit_hops", flitHops_);
-    stats.add("noc.local_deliveries", localDeliveries_);
-    for (std::size_t t = 0; t < packetsByType_.size(); ++t) {
-        stats.add(std::string("noc.packets.") +
-                      msgTypeName(static_cast<MsgType>(t)),
-                  packetsByType_[t]);
-    }
+    scope.add("packets", packets_);
+    scope.add("flit_hops", flitHops_);
+    scope.add("local_deliveries", localDeliveries_);
+    const StatsScope byType = scope.scope("packets");
+    for (std::size_t t = 0; t < packetsByType_.size(); ++t)
+        byType.add(msgTypeName(static_cast<MsgType>(t)), packetsByType_[t]);
+    scope.add("hop_distance", hopDistance_);
 }
 
 void
@@ -97,6 +96,7 @@ Mesh::send(Message msg)
     }
     const unsigned flits =
         msg.flits(cfg_.flitBytes, cfg_.headerBytes, cfg_.lineBytes);
+    hopDistance_.sample(hopCount(msg.src, msg.dst));
     const NodeId src = msg.src;
     hop(std::move(msg), src, flits);
 }
@@ -143,6 +143,7 @@ Mesh::sendDebug(Message msg)
     }
     const unsigned flits =
         msg.flits(cfg_.flitBytes, cfg_.headerBytes, cfg_.lineBytes);
+    hopDistance_.sample(hopCount(msg.src, msg.dst));
     const NodeId src = msg.src;
     if (extra == 0) {
         hopDebug(std::move(msg), src, flits, slot);

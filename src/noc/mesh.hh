@@ -17,6 +17,7 @@
 
 #include "noc/message.hh"
 #include "noc/router.hh"
+#include "obs/registry.hh"
 #include "sim/event_queue.hh"
 #include "stats/stats.hh"
 
@@ -46,7 +47,7 @@ using MessageHandler = std::function<void(const Message&)>;
 class Mesh
 {
   public:
-    Mesh(EventQueue& eq, const NocConfig& cfg, StatSet& stats);
+    Mesh(EventQueue& eq, const NocConfig& cfg, const StatsScope& scope);
 
     /** Attach the handler for @p port of node @p node. */
     void attach(NodeId node, Port port, MessageHandler handler);
@@ -131,6 +132,8 @@ class Mesh
     Counter localDeliveries_;
     std::array<Counter, static_cast<std::size_t>(MsgType::NumTypes)>
         packetsByType_;
+    /** X-Y route length of each remote packet (locality indicator). */
+    Histogram hopDistance_;
 };
 
 } // namespace cbsim

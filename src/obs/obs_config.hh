@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Settings for the observability layer (docs/OBSERVABILITY.md): epoch
+ * time-series sampling and Chrome trace-event export.
+ *
+ * ObsConfig rides inside DebugConfig so it inherits the same three-layer
+ * resolution (environment → DebugScope → ChipConfig::debug): export
+ * CBSIM_OBS_EPOCH=50000 / CBSIM_TRACE_DIR=traces to turn it on for a
+ * whole process, or set ChipConfig::debug.obs for one chip. Everything
+ * defaults off, and when off the simulator takes no observability
+ * branches beyond one predicted-false compare per event-queue bucket —
+ * results artifacts and smoke goldens are byte-identical either way.
+ */
+
+#ifndef CBSIM_OBS_OBS_CONFIG_HH
+#define CBSIM_OBS_OBS_CONFIG_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace cbsim {
+
+struct ObsConfig
+{
+    /**
+     * Epoch window in ticks for time-series sampling; 0 = off. Each
+     * epoch appends one row of per-window deltas (LLC accesses, flit
+     * hops, packets, blocked cores) to RunResult::epochs, which the
+     * ResultSink serializes as the "epochs" array (schema v3).
+     */
+    Tick epochTicks = 0;
+
+    /**
+     * Directory for Chrome trace-event exports; "" = off. Each run
+     * writes <dir>/<label>.trace.json (label from DebugConfig, made
+     * filesystem-safe), loadable in ui.perfetto.dev or
+     * chrome://tracing. The special value "-" keeps the trace
+     * in memory only (tests read it via Chip::traceExporter()).
+     */
+    std::string traceDir;
+
+    bool epochEnabled() const { return epochTicks != 0; }
+    bool traceEnabled() const { return !traceDir.empty(); }
+    bool enabled() const { return epochEnabled() || traceEnabled(); }
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_OBS_OBS_CONFIG_HH

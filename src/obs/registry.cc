@@ -1,0 +1,49 @@
+#include "obs/registry.hh"
+
+namespace cbsim {
+
+StatsScope
+StatsScope::scope(const std::string& name) const
+{
+    return StatsScope(*set_, prefix_ + name + ".");
+}
+
+std::string
+StatsScope::qualify(const std::string& name) const
+{
+    return prefix_ + name;
+}
+
+void
+StatsScope::add(const std::string& name, Counter& c) const
+{
+    set_->add(qualify(name), c);
+}
+
+void
+StatsScope::add(const std::string& name, Histogram& h) const
+{
+    set_->add(qualify(name), h);
+}
+
+void
+StatsSnapshot::merge(const StatsSnapshot& other)
+{
+    for (const auto& [name, value] : other.counters)
+        counters[name] += value;
+    for (const auto& [name, data] : other.histograms)
+        histograms[name].merge(data);
+}
+
+StatsSnapshot
+StatsRegistry::snapshot() const
+{
+    StatsSnapshot snap;
+    for (const auto& [name, c] : counters_)
+        snap.counters.emplace(name, c->value());
+    for (const auto& [name, h] : histograms_)
+        snap.histograms.emplace(name, h->data());
+    return snap;
+}
+
+} // namespace cbsim

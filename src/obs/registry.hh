@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Hierarchical stats registry (docs/OBSERVABILITY.md).
+ *
+ * StatsRegistry extends the flat StatSet with two things the harness
+ * and observability layer need:
+ *
+ *  - *scoped registration*: a component receives a StatsScope naming
+ *    its position in the hierarchy ("llc.3") and registers members
+ *    relative to it — scope.add("accesses", c) yields "llc.3.accesses",
+ *    scope.scope("cbdir") hands a child component its own sub-scope.
+ *    Components no longer concatenate dotted prefixes by hand, and the
+ *    naming scheme is uniform: <subsystem>.<instance>.<stat>.
+ *
+ *  - *snapshots*: an owning copy of every registered value
+ *    (counters as integers, histograms as mergeable HistogramData).
+ *    Snapshots outlive the Chip, merge across independent simulations
+ *    deterministically (sweep jobs), and serialize to JSON.
+ */
+
+#ifndef CBSIM_OBS_REGISTRY_HH
+#define CBSIM_OBS_REGISTRY_HH
+
+#include <map>
+#include <string>
+
+#include "stats/stats.hh"
+
+namespace cbsim {
+
+class StatsRegistry;
+
+/**
+ * A registration handle for one level of the stat-name hierarchy.
+ * Cheap to copy; valid as long as the registry it came from.
+ */
+class StatsScope
+{
+  public:
+    /** Child scope: names gain "<name>." below this scope's prefix. */
+    StatsScope scope(const std::string& name) const;
+
+    void add(const std::string& name, Counter& c) const;
+    void add(const std::string& name, Histogram& h) const;
+
+    /** Fully-qualified name of @p name under this scope. */
+    std::string qualify(const std::string& name) const;
+
+    const std::string& prefix() const { return prefix_; }
+
+  private:
+    friend class StatsRegistry;
+    StatsScope(StatSet& set, std::string prefix)
+        : set_(&set), prefix_(std::move(prefix))
+    {}
+
+    StatSet* set_;
+    std::string prefix_; ///< "" at the root, else "llc.3." (trailing dot)
+};
+
+/** Owning, mergeable copy of a registry's values at one instant. */
+struct StatsSnapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, HistogramData> histograms;
+
+    /**
+     * Fold @p other in: counters add, histograms merge. Associative
+     * and commutative, so folding per-job snapshots gives the same
+     * aggregate regardless of job completion order or worker count.
+     */
+    void merge(const StatsSnapshot& other);
+
+    bool operator==(const StatsSnapshot&) const = default;
+};
+
+class StatsRegistry : public StatSet
+{
+  public:
+    /** The root scope (names registered verbatim). */
+    StatsScope root() { return StatsScope(*this, ""); }
+
+    /** A top-level scope, e.g. scope("core.0"). */
+    StatsScope scope(const std::string& prefix)
+    {
+        return root().scope(prefix);
+    }
+
+    StatsSnapshot snapshot() const;
+};
+
+} // namespace cbsim
+
+#endif // CBSIM_OBS_REGISTRY_HH

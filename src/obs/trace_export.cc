@@ -1,0 +1,104 @@
+#include "obs/trace_export.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "debug/forensics.hh"
+#include "harness/json.hh"
+
+namespace cbsim {
+
+namespace {
+
+void
+writeMeta(JsonWriter& w, const char* metaName, std::uint32_t pid,
+          std::uint32_t tid, bool hasTid, const std::string& name)
+{
+    w.beginObject();
+    w.field("name", metaName);
+    w.field("ph", "M");
+    w.field("pid", pid);
+    if (hasTid)
+        w.field("tid", tid);
+    w.key("args");
+    w.beginObject();
+    w.field("name", name);
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace
+
+void
+TraceExporter::writeJson(std::ostream& os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("otherData");
+    w.beginObject();
+    w.field("schema", kSchema);
+    w.field("generator", "cbsim");
+    w.endObject();
+    w.field("displayTimeUnit", "ns");
+    w.key("traceEvents");
+    w.beginArray();
+
+    // Metadata first: name the processes and their tracks so the UI
+    // shows "core 3" instead of a bare tid.
+    writeMeta(w, "process_name", pidCores, 0, false, "cores");
+    writeMeta(w, "process_name", pidCbdir, 0, false, "callback-directory");
+    writeMeta(w, "process_name", pidNoc, 0, false, "noc");
+    for (unsigned c = 0; c < numCores_; ++c)
+        writeMeta(w, "thread_name", pidCores, c, true,
+                  "core " + std::to_string(c));
+    for (unsigned b = 0; b < numBanks_; ++b)
+        writeMeta(w, "thread_name", pidCbdir, b, true,
+                  "cbdir bank " + std::to_string(b));
+
+    for (const TraceEvent& ev : events_) {
+        w.beginObject();
+        w.field("name", ev.name);
+        w.field("ph", std::string(1, ev.ph));
+        w.field("pid", ev.pid);
+        w.field("tid", ev.tid);
+        w.field("ts", ev.ts);
+        if (ev.ph == 'X')
+            w.field("dur", ev.dur);
+        if (ev.ph == 'i')
+            w.field("s", "t"); // instant scope: thread
+        if (ev.argName != nullptr) {
+            w.key("args");
+            w.beginObject();
+            w.field(ev.argName, ev.arg);
+            w.endObject();
+        }
+        w.endObject();
+    }
+
+    w.endArray();
+    w.endObject();
+}
+
+std::string
+TraceExporter::writeFile(const std::string& dir,
+                         const std::string& label) const
+{
+    if (dir.empty() || dir == "-")
+        return "";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string path =
+        dir + "/" + forensics::sanitizeLabel(label) + ".trace.json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::cerr << "warn: could not write trace file " << path
+                  << std::endl;
+        return "";
+    }
+    writeJson(out);
+    out << "\n";
+    return path;
+}
+
+} // namespace cbsim

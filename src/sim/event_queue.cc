@@ -40,6 +40,20 @@ EventQueue::migrateFar()
     }
 }
 
+void
+EventQueue::fireEpochs()
+{
+    // Epoch boundaries cut *before* the bucket at now_ dispatches, so
+    // a window [b-e, b) contains exactly the activity of ticks < b —
+    // the series is half-open and identical however sparse the queue
+    // is. A jump over several boundaries fires once per boundary.
+    while (now_ >= nextEpochAt_) {
+        const Tick boundary = nextEpochAt_;
+        nextEpochAt_ += epochEvery_;
+        epochFn_(boundary);
+    }
+}
+
 Tick
 EventQueue::run(Tick maxTicks)
 {
@@ -49,6 +63,11 @@ EventQueue::run(Tick maxTicks)
                   " (possible deadlock or livelock); ", pendingEvents(),
                   " events pending, head event at tick ", now_);
         }
+        // Keep the disabled epoch cost to this one predicted-false
+        // compare: the boundary walk lives out of line (fireEpochs) so
+        // its std::function call doesn't deoptimize the dispatch loop.
+        if (now_ >= nextEpochAt_) [[unlikely]]
+            fireEpochs();
         // Dispatch the whole bucket at now_ in one pass: swap its
         // vector into the scratch buffer and invoke the events in
         // place, so nothing is moved per event. Same-tick re-entrant

@@ -114,6 +114,27 @@ class EventQueue
             pollFn_ ? executed_ + pollEvery_ : ~std::uint64_t{0};
     }
 
+    /**
+     * Install a hook invoked from run() at every multiple of
+     * @p everyTicks of simulated time (checked once per dispatched
+     * bucket, so the disabled cost is a single compare — the same
+     * pattern as setPollHook, but keyed on ticks rather than executed
+     * events). The epoch sampler uses this to cut deterministic
+     * time-series windows without scheduling events of its own.
+     *
+     * The hook receives the epoch's boundary tick. When the queue jumps
+     * a sparse stretch spanning several boundaries, the hook fires once
+     * per boundary (back-to-back), so the series stays uniform. Runs
+     * between buckets, never mid-event; pass nullptr to remove.
+     */
+    void
+    setEpochHook(Tick everyTicks, std::function<void(Tick)> fn)
+    {
+        epochFn_ = std::move(fn);
+        epochEvery_ = everyTicks == 0 ? 1 : everyTicks;
+        nextEpochAt_ = epochFn_ ? now_ + epochEvery_ : ~Tick{0};
+    }
+
     /** Head-of-queue picture for forensic dumps (sim layer stays
      *  JSON-free; debug/forensics serializes this). */
     struct DebugSnapshot
@@ -341,6 +362,13 @@ class EventQueue
     std::uint64_t nextPollAt_ = ~std::uint64_t{0};
     std::uint64_t pollEvery_ = 0;
     EventFn pollFn_;
+    /** Cold path of the epoch hook: fire every boundary <= now_. */
+    [[gnu::noinline]] void fireEpochs();
+
+    /** Next tick boundary at which run() calls epochFn_ (max = never). */
+    Tick nextEpochAt_ = ~Tick{0};
+    Tick epochEvery_ = 0;
+    std::function<void(Tick)> epochFn_;
 };
 
 } // namespace cbsim

@@ -7,61 +7,74 @@
 
 namespace cbsim {
 
-void
-Histogram::sample(std::uint64_t v)
+unsigned
+HistogramData::bucketOf(std::uint64_t v)
 {
-    if (count_ == 0 || v < min_)
-        min_ = v;
-    if (v > max_)
-        max_ = v;
-    ++count_;
-    sum_ += v;
     // Bucket index = position of the highest set bit (0 for v <= 1).
-    const unsigned bucket =
-        v <= 1 ? 0 : 64 - static_cast<unsigned>(std::countl_zero(v)) - 1;
-    ++buckets_[bucket];
+    return v <= 1 ? 0
+                  : 64 - static_cast<unsigned>(std::countl_zero(v)) - 1;
 }
 
 void
-Histogram::reset()
+HistogramData::sample(std::uint64_t v)
 {
-    count_ = sum_ = min_ = max_ = 0;
-    buckets_.fill(0);
+    if (count == 0 || v < min)
+        min = v;
+    if (v > max)
+        max = v;
+    ++count;
+    sum += v;
+    ++buckets[bucketOf(v)];
+}
+
+void
+HistogramData::merge(const HistogramData& other)
+{
+    if (other.count == 0)
+        return;
+    if (count == 0 || other.min < min)
+        min = other.min;
+    if (other.max > max)
+        max = other.max;
+    count += other.count;
+    sum += other.sum;
+    for (unsigned b = 0; b < numBuckets; ++b)
+        buckets[b] += other.buckets[b];
 }
 
 double
-Histogram::percentile(double p) const
+HistogramData::percentile(double p) const
 {
-    if (count_ == 0)
+    if (count == 0)
         return 0.0;
     if (p <= 0.0)
-        return static_cast<double>(min());
+        return static_cast<double>(min);
     if (p >= 100.0)
-        return static_cast<double>(max());
-    const double target = p / 100.0 * static_cast<double>(count_);
+        return static_cast<double>(max);
+    const double target = p / 100.0 * static_cast<double>(count);
     std::uint64_t seen = 0;
     for (unsigned b = 0; b < numBuckets; ++b) {
-        if (buckets_[b] == 0)
+        if (buckets[b] == 0)
             continue;
-        if (static_cast<double>(seen + buckets_[b]) >= target) {
+        if (static_cast<double>(seen + buckets[b]) >= target) {
             // Interpolate within [2^b, 2^(b+1)).
             const double lo = b == 0 ? 0.0 : std::pow(2.0, b);
             const double hi = std::pow(2.0, b + 1);
             const double frac =
                 (target - static_cast<double>(seen)) /
-                static_cast<double>(buckets_[b]);
+                static_cast<double>(buckets[b]);
             return lo + frac * (hi - lo);
         }
-        seen += buckets_[b];
+        seen += buckets[b];
     }
-    return static_cast<double>(max_);
+    return static_cast<double>(max);
 }
 
 double
-Histogram::mean() const
+HistogramData::mean() const
 {
-    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
-                  : 0.0;
+    return count ? static_cast<double>(sum) / static_cast<double>(count)
+                 : 0.0;
 }
 
 void
@@ -119,6 +132,51 @@ StatSet::sumByPrefix(const std::string& prefix) const
     return total;
 }
 
+namespace {
+
+bool
+matchesWhere(const std::string& name, const std::string& prefix,
+             const std::string& suffix)
+{
+    if (name.size() < prefix.size() + suffix.size())
+        return false;
+    if (name.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    return name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+} // namespace
+
+std::uint64_t
+StatSet::sumWhere(const std::string& prefix, const std::string& suffix) const
+{
+    std::uint64_t total = 0;
+    for (auto it = counters_.lower_bound(prefix); it != counters_.end();
+         ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        if (matchesWhere(it->first, prefix, suffix))
+            total += it->second->value();
+    }
+    return total;
+}
+
+HistogramData
+StatSet::mergeWhere(const std::string& prefix,
+                    const std::string& suffix) const
+{
+    HistogramData merged;
+    for (auto it = histograms_.lower_bound(prefix); it != histograms_.end();
+         ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        if (matchesWhere(it->first, prefix, suffix))
+            merged.merge(it->second->data());
+    }
+    return merged;
+}
+
 void
 StatSet::resetAll()
 {
@@ -145,6 +203,16 @@ StatSet::counterNames() const
     std::vector<std::string> names;
     names.reserve(counters_.size());
     for (const auto& [name, c] : counters_)
+        names.push_back(name);
+    return names;
+}
+
+std::vector<std::string>
+StatSet::histogramNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_)
         names.push_back(name);
     return names;
 }

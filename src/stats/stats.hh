@@ -3,7 +3,10 @@
  * Lightweight named-statistics package (counters, histograms, registry).
  *
  * Components own Counter/Histogram members and register them in a StatSet
- * so that a run can be dumped, diffed, or aggregated by the harness.
+ * so that a run can be dumped, diffed, or aggregated by the harness. The
+ * observability layer (src/obs) builds on this: StatsRegistry adds
+ * hierarchical scoping and mergeable snapshots, the epoch sampler and
+ * trace exporter read live values through the same registry.
  */
 
 #ifndef CBSIM_STATS_STATS_HH
@@ -35,6 +38,48 @@ class Counter
 };
 
 /**
+ * The plain-data state of a histogram: moments plus power-of-two
+ * buckets. Separated from the live Histogram so distributions can be
+ * snapshotted, serialized, and *merged* across independent simulations
+ * (sweep jobs): merge is associative and commutative, so aggregating
+ * per-job distributions gives identical bytes regardless of job order
+ * or worker count (tests/obs/histogram_test.cpp asserts this).
+ */
+struct HistogramData
+{
+    static constexpr unsigned numBuckets = 64;
+
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0; ///< meaningful only when count > 0
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, numBuckets> buckets{};
+
+    /** Deterministic bucket index: highest set bit (0 for v <= 1). */
+    static unsigned bucketOf(std::uint64_t v);
+
+    void sample(std::uint64_t v);
+
+    /** Fold @p other into this (associative and commutative). */
+    void merge(const HistogramData& other);
+
+    double mean() const;
+
+    /**
+     * Approximate p-th percentile (p in [0, 100]) from log2 buckets;
+     * exact to within a factor of 2 (linear interpolation within the
+     * bucket). Returns 0 for an empty histogram.
+     */
+    double percentile(double p) const;
+
+    double p50() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
+    bool operator==(const HistogramData&) const = default;
+};
+
+/**
  * Samples a distribution: count, sum, min, max, mean, and approximate
  * percentiles via power-of-two buckets. Used for per-operation
  * latencies (e.g., lock-acquire latency), where the tail quantifies
@@ -46,30 +91,26 @@ class Histogram
   public:
     Histogram() = default;
 
-    void sample(std::uint64_t v);
-    void reset();
+    void sample(std::uint64_t v) { data_.sample(v); }
+    void reset() { data_ = HistogramData{}; }
 
-    std::uint64_t count() const { return count_; }
-    std::uint64_t sum() const { return sum_; }
-    std::uint64_t min() const { return count_ ? min_ : 0; }
-    std::uint64_t max() const { return max_; }
-    double mean() const;
+    /** Fold another histogram's samples into this one. */
+    void merge(const Histogram& other) { data_.merge(other.data_); }
 
-    /**
-     * Approximate p-th percentile (p in [0, 100]) from log2 buckets;
-     * exact to within a factor of 2 (linear interpolation within the
-     * bucket). Returns 0 for an empty histogram.
-     */
-    double percentile(double p) const;
+    /** Snapshot of the full distribution state (mergeable). */
+    const HistogramData& data() const { return data_; }
+
+    std::uint64_t count() const { return data_.count; }
+    std::uint64_t sum() const { return data_.sum; }
+    std::uint64_t min() const { return data_.count ? data_.min : 0; }
+    std::uint64_t max() const { return data_.max; }
+    double mean() const { return data_.mean(); }
+
+    /** See HistogramData::percentile. */
+    double percentile(double p) const { return data_.percentile(p); }
 
   private:
-    static constexpr unsigned numBuckets = 64;
-
-    std::uint64_t count_ = 0;
-    std::uint64_t sum_ = 0;
-    std::uint64_t min_ = 0;
-    std::uint64_t max_ = 0;
-    std::array<std::uint64_t, numBuckets> buckets_{};
+    HistogramData data_;
 };
 
 /**
@@ -94,6 +135,22 @@ class StatSet
     /** Sum of all counters whose name starts with @p prefix. */
     std::uint64_t sumByPrefix(const std::string& prefix) const;
 
+    /**
+     * Sum of every counter named "<prefix>...<suffix>" — the scalar
+     * aggregation behind RunResult ("llc.", ".accesses" sums every
+     * bank's access counter).
+     */
+    std::uint64_t sumWhere(const std::string& prefix,
+                           const std::string& suffix) const;
+
+    /**
+     * Merged distribution of every histogram named
+     * "<prefix>...<suffix>" (e.g. per-core wake latencies folded into
+     * one chip-wide distribution). Empty data if none match.
+     */
+    HistogramData mergeWhere(const std::string& prefix,
+                             const std::string& suffix) const;
+
     /** Reset every registered statistic to zero. */
     void resetAll();
 
@@ -101,8 +158,11 @@ class StatSet
     void dump(std::ostream& os) const;
 
     std::vector<std::string> counterNames() const;
+    std::vector<std::string> histogramNames() const;
 
-  private:
+  protected:
+    // The observability registry (src/obs) extends this class with
+    // scoped registration and snapshotting over the same maps.
     std::map<std::string, Counter*> counters_;
     std::map<std::string, Histogram*> histograms_;
 };

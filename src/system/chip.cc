@@ -10,20 +10,22 @@
 #include "debug/noc_tracker.hh"
 #include "debug/watchdog.hh"
 #include "harness/json.hh"
+#include "obs/epoch.hh"
+#include "obs/trace_export.hh"
 #include "sim/log.hh"
 
 namespace cbsim {
 
 Chip::Chip(const ChipConfig& cfg)
-    : cfg_(cfg), mesh_(eq_, cfg.noc, stats_),
-      memory_(eq_, cfg.memLatency, stats_)
+    : cfg_(cfg), mesh_(eq_, cfg.noc, stats_.scope("noc")),
+      memory_(eq_, cfg.memLatency, stats_.scope("mem"))
 {
     cfg_.validate();
     // LLC banks see only their own residue class of line numbers; index
     // sets on the post-interleaving bits so the whole bank is usable.
     cfg_.llcBank.indexDivisor = cfg_.numCores;
-    syncStats_.registerStats(stats_);
-    classifier_.registerStats(stats_, "pages");
+    syncStats_.registerStats(stats_.scope("sync"));
+    classifier_.registerStats(stats_.scope("pages"));
 
     const unsigned n = cfg_.numCores;
     l1s_.reserve(n);
@@ -36,12 +38,12 @@ Chip::Chip(const ChipConfig& cfg)
             auto l1 = std::make_unique<MesiL1>(
                 i, node, eq_, mesh_, data_, cfg_.l1, cfg_.l1Latency, n,
                 cfg_.backoff.pauseDelay);
-            l1->registerStats(stats_, "l1." + std::to_string(i));
+            l1->registerStats(stats_.scope("l1." + std::to_string(i)));
             mesiL1s_.push_back(l1.get());
             auto bank = std::make_unique<MesiLlcBank>(
                 static_cast<BankId>(i), eq_, mesh_, data_, memory_,
                 cfg_.llcBank, cfg_.llc);
-            bank->registerStats(stats_, "llc." + std::to_string(i));
+            bank->registerStats(stats_.scope("llc." + std::to_string(i)));
             mesiBanks_.push_back(bank.get());
             l1s_.push_back(std::move(l1));
             banks_.push_back(std::move(bank));
@@ -49,13 +51,13 @@ Chip::Chip(const ChipConfig& cfg)
             auto l1 = std::make_unique<VipsL1>(
                 i, node, eq_, mesh_, data_, classifier_, cfg_.l1,
                 cfg_.l1Latency, n);
-            l1->registerStats(stats_, "l1." + std::to_string(i));
+            l1->registerStats(stats_.scope("l1." + std::to_string(i)));
             vipsL1s_.push_back(l1.get());
             auto bank = std::make_unique<VipsLlcBank>(
                 static_cast<BankId>(i), eq_, mesh_, data_, memory_,
                 cfg_.llcBank, cfg_.llc, cfg_.cbEntriesPerBank,
                 cfg_.cbDirLatency, n);
-            bank->registerStats(stats_, "llc." + std::to_string(i));
+            bank->registerStats(stats_.scope("llc." + std::to_string(i)));
             vipsBanks_.push_back(bank.get());
             l1s_.push_back(std::move(l1));
             banks_.push_back(std::move(bank));
@@ -73,7 +75,7 @@ Chip::Chip(const ChipConfig& cfg)
         auto core = std::make_unique<Core>(
             i, eq_, *l1s_.back(), cfg_.backoff, syncStats_,
             [this] { ++finished_; });
-        core->registerStats(stats_, "core." + std::to_string(i));
+        core->registerStats(stats_.scope("core." + std::to_string(i)));
         cores_.push_back(std::move(core));
     }
 
@@ -85,6 +87,39 @@ Chip::Chip(const ChipConfig& cfg)
     }
 
     buildDebug();
+    buildObs();
+}
+
+/**
+ * Construct whichever observability components the obs config asks
+ * for. Like buildDebug, everything-off (the default) creates nothing:
+ * the hot paths see only null-pointer compares and one tick compare
+ * per dispatched event-queue bucket.
+ */
+void
+Chip::buildObs()
+{
+    const ObsConfig& obs = cfg_.debug.obs;
+
+    if (obs.traceEnabled()) {
+        trace_ = std::make_unique<TraceExporter>(cfg_.numCores,
+                                                 cfg_.numCores);
+        for (auto& core : cores_)
+            core->setTrace(trace_.get());
+        for (VipsLlcBank* bank : vipsBanks_)
+            bank->setTrace(trace_.get());
+    }
+
+    if (obs.epochEnabled()) {
+        epochSampler_ = std::make_unique<EpochSampler>(stats_, [this] {
+            std::uint64_t blocked = 0;
+            for (const auto& core : cores_)
+                blocked += core->blockedOnMemory() ? 1 : 0;
+            return blocked;
+        });
+        epochSampler_->setTrace(trace_.get());
+        epochSampler_->install(eq_, obs.epochTicks);
+    }
 }
 
 /**
@@ -200,6 +235,10 @@ Chip::run()
     RunResult result = RunResult::fromStats(stats_, syncStats_, end);
     result.events = eq_.executedEvents();
     result.simWallMs = sim_wall_ms;
+    if (epochSampler_ != nullptr)
+        result.epochs = epochSampler_->rows();
+    if (trace_ != nullptr)
+        trace_->writeFile(cfg_.debug.obs.traceDir, cfg_.debug.label);
     return result;
 }
 

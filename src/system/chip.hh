@@ -20,6 +20,7 @@
 #include "core/core.hh"
 #include "mem/data_store.hh"
 #include "mem/memory_model.hh"
+#include "obs/registry.hh"
 #include "system/chip_config.hh"
 #include "system/run_result.hh"
 
@@ -29,6 +30,8 @@ class Watchdog;
 class InvariantChecker;
 class FaultInjector;
 class NocTracker;
+class EpochSampler;
+class TraceExporter;
 
 /** A complete simulated CMP. Build, load programs, run once. */
 class Chip
@@ -50,8 +53,11 @@ class Chip
     const ChipConfig& config() const { return cfg_; }
     EventQueue& eventQueue() { return eq_; }
     DataStore& dataStore() { return data_; }
-    StatSet& stats() { return stats_; }
+    StatsRegistry& stats() { return stats_; }
     SyncStats& syncStats() { return syncStats_; }
+
+    /** The trace exporter, or null when trace export is off. */
+    const TraceExporter* traceExporter() const { return trace_.get(); }
     Core& core(CoreId i) { return *cores_.at(i); }
     L1Controller& l1(CoreId i) { return *l1s_.at(i); }
     LlcBank& bank(BankId i) { return *banks_.at(i); }
@@ -75,9 +81,10 @@ class Chip
 
   private:
     void buildDebug();
+    void buildObs();
     ChipConfig cfg_;
     EventQueue eq_;
-    StatSet stats_;
+    StatsRegistry stats_;
     DataStore data_;
     Mesh mesh_;
     MemoryModel memory_;
@@ -97,6 +104,10 @@ class Chip
     std::unique_ptr<NocTracker> nocTracker_;
     std::unique_ptr<InvariantChecker> checker_;
     std::unique_ptr<Watchdog> watchdog_;
+
+    /** Observability subsystem; null when the obs config is off. */
+    std::unique_ptr<EpochSampler> epochSampler_;
+    std::unique_ptr<TraceExporter> trace_;
 
     unsigned finished_ = 0;
     bool ran_ = false;

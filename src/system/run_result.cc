@@ -1,5 +1,6 @@
 #include "system/run_result.hh"
 
+#include <cmath>
 #include <sstream>
 
 namespace cbsim {
@@ -8,18 +9,7 @@ std::uint64_t
 RunResult::sumWhere(const StatSet& stats, const std::string& prefix,
                     const std::string& suffix)
 {
-    std::uint64_t total = 0;
-    for (const auto& name : stats.counterNames()) {
-        if (name.size() < prefix.size() + suffix.size())
-            continue;
-        if (name.compare(0, prefix.size(), prefix) != 0)
-            continue;
-        if (name.compare(name.size() - suffix.size(), suffix.size(),
-                         suffix) != 0)
-            continue;
-        total += stats.counter(name);
-    }
-    return total;
+    return stats.sumWhere(prefix, suffix);
 }
 
 RunResult
@@ -48,14 +38,30 @@ RunResult::fromStats(const StatSet& stats, const SyncStats& sync_stats,
         r.sync[k].meanLatency = h.mean();
         r.sync[k].totalLatency = h.sum();
         r.sync[k].maxLatency = h.max();
+        r.sync[k].p50Latency = h.percentile(50.0);
+        r.sync[k].p95Latency = h.percentile(95.0);
         r.sync[k].p99Latency = h.percentile(99.0);
     }
     return r;
 }
 
+namespace {
+
+/** Percentile rounded to whole cycles for the scalar-field table. */
+std::uint64_t
+roundedLatency(double v)
+{
+    return static_cast<std::uint64_t>(std::llround(v));
+}
+
+} // namespace
+
 std::vector<std::pair<const char*, std::uint64_t>>
 RunResult::scalarFields() const
 {
+    const auto& acq = sync[static_cast<std::size_t>(SyncKind::Acquire)];
+    const auto& bar = sync[static_cast<std::size_t>(SyncKind::Barrier)];
+    const auto& wait = sync[static_cast<std::size_t>(SyncKind::Wait)];
     return {
         {"cycles", cycles},
         {"llc_accesses", llcAccesses},
@@ -71,6 +77,15 @@ RunResult::scalarFields() const
         {"cbdir_evictions", cbdirEvictions},
         {"stall_cycles", stallCycles},
         {"cb_blocked_cycles", cbBlockedCycles},
+        {"sync_acquire_p50", roundedLatency(acq.p50Latency)},
+        {"sync_acquire_p95", roundedLatency(acq.p95Latency)},
+        {"sync_acquire_p99", roundedLatency(acq.p99Latency)},
+        {"sync_barrier_p50", roundedLatency(bar.p50Latency)},
+        {"sync_barrier_p95", roundedLatency(bar.p95Latency)},
+        {"sync_barrier_p99", roundedLatency(bar.p99Latency)},
+        {"sync_wait_p50", roundedLatency(wait.p50Latency)},
+        {"sync_wait_p95", roundedLatency(wait.p95Latency)},
+        {"sync_wait_p99", roundedLatency(wait.p99Latency)},
     };
 }
 

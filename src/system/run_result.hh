@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/core.hh"
+#include "obs/epoch.hh"
 #include "stats/stats.hh"
 
 namespace cbsim {
@@ -25,6 +26,8 @@ struct SyncKindResult
     double meanLatency = 0.0;
     std::uint64_t totalLatency = 0;
     std::uint64_t maxLatency = 0;
+    double p50Latency = 0.0; ///< median per-operation latency
+    double p95Latency = 0.0;
     double p99Latency = 0.0; ///< tail latency (fairness indicator)
 };
 
@@ -59,6 +62,13 @@ struct RunResult
     double simWallMs = 0.0;
 
     std::array<SyncKindResult, SyncStats::numKinds> sync{};
+
+    /**
+     * Per-epoch activity time series; empty unless epoch sampling was
+     * enabled (ObsConfig::epochTicks). Serialized as the "epochs"
+     * array of schema-v3 artifacts.
+     */
+    std::vector<EpochRow> epochs;
 
     /** Sum counters named "<any prefix>.<suffix>" starting with prefix. */
     static std::uint64_t sumWhere(const StatSet& stats,

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "coherence/vips/page_classifier.hh"
+#include "obs/registry.hh"
 
 namespace cbsim {
 namespace {
@@ -63,8 +64,8 @@ TEST(PageClassifier, UnknownPagePeeksPrivate)
 TEST(PageClassifier, StatsCountTransitions)
 {
     PageClassifier pc;
-    StatSet stats;
-    pc.registerStats(stats, "pages");
+    StatsRegistry stats;
+    pc.registerStats(stats.scope("pages"));
     pc.classify(0x1000, 0);
     pc.classify(0x2000, 0);
     pc.classify(0x1000, 1);

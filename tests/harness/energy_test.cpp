@@ -59,6 +59,40 @@ TEST(EnergyModel, DefaultsFollowThePapersRelativeWeights)
     EXPECT_LT(p.cbDirAccess, 0.2 * p.llcAccess);
 }
 
+TEST(EnergyModel, MatchesHandComputedTotals)
+{
+    // Distinct prime weights so any cross-attribution shows up in the
+    // totals rather than cancelling out.
+    EnergyParams p;
+    p.l1Access = 2.0;
+    p.llcAccess = 3.0;
+    p.cbDirAccess = 5.0;
+    p.flitHop = 7.0;
+    p.memAccess = 11.0;
+
+    const auto e = computeEnergy(counts(10, 20, 30, 40, 50), p);
+    EXPECT_DOUBLE_EQ(e.l1, 20.0);       // 10 * 2
+    EXPECT_DOUBLE_EQ(e.llc, 60.0);      // 20 * 3
+    EXPECT_DOUBLE_EQ(e.network, 210.0); // 30 * 7
+    EXPECT_DOUBLE_EQ(e.cbdir, 200.0);   // 40 * 5
+    EXPECT_DOUBLE_EQ(e.memory, 550.0);  // 50 * 11
+    EXPECT_DOUBLE_EQ(e.onChip(), 490.0);
+    EXPECT_DOUBLE_EQ(e.total(), 1040.0);
+}
+
+TEST(EnergyModel, PauseSavingsAreBlockedCyclesTimesDelta)
+{
+    EnergyParams p;
+    p.coreActive = 0.08;
+    p.corePaused = 0.03;
+    RunResult r;
+    r.cbBlockedCycles = 1000;
+    EXPECT_DOUBLE_EQ(pauseSavings(r, p), 50.0); // 1000 * (0.08 - 0.03)
+
+    r.cbBlockedCycles = 0;
+    EXPECT_DOUBLE_EQ(pauseSavings(r, p), 0.0);
+}
+
 TEST(EnergyModel, SummaryMentionsComponents)
 {
     const auto e = computeEnergy(counts(1, 1, 1));

@@ -55,5 +55,74 @@ TEST(Format, FixedPrecision)
     EXPECT_EQ(norm(1.0), "1.000");
 }
 
+TEST(TablePrinter, FirstColumnLeftRestRightAligned)
+{
+    std::ostringstream os;
+    TablePrinter t(os, {"bench", "cycles"}, 10, 8);
+    t.row({"fft", "42"});
+    std::istringstream in(os.str());
+    std::string header, rule, row;
+    std::getline(in, header);
+    std::getline(in, rule);
+    std::getline(in, row);
+    // "fft" flush-left in a 10-char field, "42" flush-right in 8.
+    EXPECT_EQ(row.substr(0, 10), "fft       ");
+    EXPECT_EQ(row.substr(10), "      42");
+    EXPECT_EQ(rule, std::string(18, '-'));
+}
+
+TEST(TablePrinter, NormalizationRowsLineUpNumerically)
+{
+    // The bench binaries print normalized series (norm()): every value
+    // lands in the same fixed format so columns stay comparable.
+    std::ostringstream os;
+    TablePrinter t(os, {"tech", "llc", "traffic"}, 12, 10);
+    t.row({"Invalidation", norm(1.0), norm(1.0)});
+    t.row({"CB-One", norm(0.127), norm(0.271)});
+    const auto text = os.str();
+    EXPECT_NE(text.find("1.000"), std::string::npos);
+    EXPECT_NE(text.find("0.127"), std::string::npos);
+    // Equal-width rows even with mixed magnitudes.
+    std::istringstream in(text);
+    std::string line;
+    std::size_t w = 0;
+    while (std::getline(in, line)) {
+        if (w == 0)
+            w = line.size();
+        EXPECT_EQ(line.size(), w);
+    }
+}
+
+TEST(TablePrinter, EmptyCellsKeepTheGridAligned)
+{
+    std::ostringstream os;
+    TablePrinter t(os, {"name", "a", "b"}, 8, 6);
+    t.row({"x", "", "2"}); // empty cell pads to the column width
+    t.row({"", "1", ""});  // empty first column keeps its field too
+    std::istringstream in(os.str());
+    std::string line;
+    std::getline(in, line); // header
+    const auto w = line.size();
+    std::getline(in, line); // rule
+    std::getline(in, line);
+    EXPECT_EQ(line.size(), w);
+    // "x" left in 8, empty right in 6, "2" right in 6.
+    EXPECT_EQ(line, "x" + std::string(18, ' ') + "2");
+    std::getline(in, line);
+    EXPECT_EQ(line.size(), w);
+    // Empty first column, "1" right in 6, empty right in 6.
+    EXPECT_EQ(line, std::string(13, ' ') + "1" + std::string(6, ' '));
+}
+
+TEST(TablePrinter, OversizedCellsExpandRatherThanTruncate)
+{
+    std::ostringstream os;
+    TablePrinter t(os, {"n", "v"}, 4, 4);
+    t.row({"long-name-cell", "123456"});
+    const auto text = os.str();
+    EXPECT_NE(text.find("long-name-cell"), std::string::npos);
+    EXPECT_NE(text.find("123456"), std::string::npos);
+}
+
 } // namespace
 } // namespace cbsim

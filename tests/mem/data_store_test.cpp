@@ -7,6 +7,7 @@
 
 #include "mem/data_store.hh"
 #include "mem/memory_model.hh"
+#include "obs/registry.hh"
 
 namespace cbsim {
 namespace {
@@ -47,8 +48,8 @@ TEST(DataStore, FootprintCountsDistinctWords)
 TEST(MemoryModel, ReadCompletesAfterLatency)
 {
     EventQueue eq;
-    StatSet stats;
-    MemoryModel mem(eq, 160, stats);
+    StatsRegistry stats;
+    MemoryModel mem(eq, 160, stats.scope("mem"));
     Tick done_at = 0;
     eq.schedule(10, [&] {
         mem.read(0x1000, [&] { done_at = eq.now(); });
@@ -61,8 +62,8 @@ TEST(MemoryModel, ReadCompletesAfterLatency)
 TEST(MemoryModel, WritesAreCounted)
 {
     EventQueue eq;
-    StatSet stats;
-    MemoryModel mem(eq, 160, stats);
+    StatsRegistry stats;
+    MemoryModel mem(eq, 160, stats.scope("mem"));
     mem.write(0x40);
     mem.write(0x80);
     EXPECT_EQ(stats.counter("mem.writes"), 2u);

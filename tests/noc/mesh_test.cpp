@@ -17,7 +17,7 @@ namespace {
 struct MeshFixture : ::testing::Test
 {
     EventQueue eq;
-    StatSet stats;
+    StatsRegistry stats;
     NocConfig cfg;
     std::unique_ptr<Mesh> mesh;
 
@@ -26,7 +26,7 @@ struct MeshFixture : ::testing::Test
     {
         cfg.width = w;
         cfg.height = h;
-        mesh = std::make_unique<Mesh>(eq, cfg, stats);
+        mesh = std::make_unique<Mesh>(eq, cfg, stats.scope("noc"));
     }
 
     Message
@@ -171,7 +171,7 @@ TEST_F(MeshFixture, ZeroDimensionIsFatal)
 {
     NocConfig bad;
     bad.width = 0;
-    EXPECT_THROW(Mesh(eq, bad, stats), FatalError);
+    EXPECT_THROW(Mesh(eq, bad, stats.scope("noc2")), FatalError);
 }
 
 } // namespace
