@@ -266,6 +266,9 @@ benchMain(int argc, char** argv)
         dbg.checkInvariants = true;
     if (dbg.forensicDir.empty())
         dbg.forensicDir = mode().outDir;
+    // Bench artifacts always carry the contention[] attribution table
+    // (schema v4); the bounded shards keep the cost negligible.
+    dbg.obs.attribution = true;
 
     SweepRunner runner(mode().jobs);
     runner.setMaxFailures(max_failures);

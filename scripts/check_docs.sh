@@ -126,6 +126,25 @@ else
         fi
     done
 fi
+if [ -f docs/RESULTS.md ] && [ -f docs/OBSERVABILITY.md ]; then
+    # Contention field names are declared one per line in the
+    # kContentionFields initializer precisely so they can be extracted
+    # here; every schema-v4 contention[] column must be documented in
+    # both the schema reference and the attribution guide.
+    cfields=$(sed -n '/kContentionFields = {/,/};/p' \
+                  src/obs/attribution.cc \
+        | grep -o '"[a-z][a-z0-9_]*"' | tr -d '"' | sort -u)
+    [ -n "$cfields" ] || \
+        err "could not parse kContentionFields from src/obs/attribution.cc"
+    for f in $cfields; do
+        if ! grep -q "\`$f\`" docs/RESULTS.md; then
+            err "contention field $f is not documented in docs/RESULTS.md"
+        fi
+        if ! grep -q "\`$f\`" docs/OBSERVABILITY.md; then
+            err "contention field $f is not documented in docs/OBSERVABILITY.md"
+        fi
+    done
+fi
 
 if [ "$fail" -eq 0 ]; then
     echo "check_docs: OK (subsystems, opcodes, invariants, links, stats)"

@@ -1,0 +1,81 @@
+#!/usr/bin/env sh
+# Reporting regression, run as a ctest tier-2 entry (report_smoke_golden).
+#
+# Drives cbsim-report end-to-end against the checked-in smoke goldens:
+#  - every golden artifact must render (figure tables + contention);
+#  - the fig20 render must show all three technique families with
+#    symbolic object names (the schema-v4 attribution contract);
+#  - an artifact diffed against itself must be clean (exit 0);
+#  - a doctored regression must fail the diff (exit 1);
+#  - garbage input must exit 2 (usage/parse).
+#
+# Usage: check_report.sh <repo-root> <cbsim-report-binary>
+
+set -u
+
+root=${1:?usage: check_report.sh <repo-root> <cbsim-report>}
+bin=${2:?usage: check_report.sh <repo-root> <cbsim-report>}
+
+golden_dir="$root/tests/golden/smoke"
+[ -d "$golden_dir" ] || {
+    echo "check_report: missing $golden_dir" >&2
+    exit 1
+}
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+status=0
+
+for golden in "$golden_dir"/*.json; do
+    name=$(basename "$golden")
+    if ! "$bin" "$golden" > "$scratch/$name.out" 2>&1; then
+        echo "check_report: render failed for $name:" >&2
+        tail -n 10 "$scratch/$name.out" >&2
+        status=1
+    fi
+done
+
+# The sync-figure render must carry the per-technique contention
+# breakdown with symbolic names, not hex.
+out="$scratch/fig20_sync.json.out"
+for want in "Invalidation" "BackOff" "CB-" "contention:" "lock0"; do
+    if ! grep -q "$want" "$out"; then
+        echo "check_report: fig20 render missing '$want'" >&2
+        status=1
+    fi
+done
+
+# Self-diff is clean.
+if ! "$bin" --diff "$golden_dir/fig20_sync.json" \
+        "$golden_dir/fig20_sync.json" > "$scratch/selfdiff.out" 2>&1; then
+    echo "check_report: self-diff not clean:" >&2
+    cat "$scratch/selfdiff.out" >&2
+    status=1
+fi
+
+# A doctored +20% cycles regression must fail with exit 1.
+sed 's/"cycles": \([0-9]*\)/"cycles": 9999999/' \
+    "$golden_dir/fig20_sync.json" > "$scratch/worse.json"
+"$bin" --diff "$golden_dir/fig20_sync.json" "$scratch/worse.json" \
+    > "$scratch/worsediff.out" 2>&1
+rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "check_report: doctored diff exited $rc, want 1" >&2
+    status=1
+fi
+if ! grep -q "REGRESSION" "$scratch/worsediff.out"; then
+    echo "check_report: doctored diff printed no REGRESSION line" >&2
+    status=1
+fi
+
+# Garbage input: exit 2.
+echo "not json" > "$scratch/garbage.json"
+"$bin" "$scratch/garbage.json" > /dev/null 2>&1
+rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "check_report: garbage input exited $rc, want 2" >&2
+    status=1
+fi
+
+[ "$status" -eq 0 ] && echo "check_report: OK"
+exit $status

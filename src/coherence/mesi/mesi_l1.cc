@@ -2,6 +2,7 @@
 
 #include "harness/json.hh"
 #include "mem/addr.hh"
+#include "obs/attribution.hh"
 #include "sim/log.hh"
 #include "sim/trace.hh"
 
@@ -43,6 +44,8 @@ MesiL1::unparkSpin()
     // Charge the re-checks that local spinning would have performed.
     const Tick waited = eq_.now() - w.parkedAt;
     accesses_.inc(waited / pauseInterval_);
+    if (attr_ != nullptr)
+        attr_->row(w.lineAddr).reacquires++;
     lastSpinValid_ = false;
     // Re-execute the load through the normal path (the line was just
     // invalidated, so this becomes the GetS refetch of the 5-message

@@ -78,6 +78,12 @@ class MesiL1 : public L1Controller
 
     void registerStats(const StatsScope& scope);
 
+    /**
+     * Enable contention attribution: spin re-acquires after an
+     * invalidation are charged to the watched line in this L1's shard.
+     */
+    void setAttribution(AttributionTable* attr) { attr_ = attr; }
+
   private:
     struct LineInfo
     {
@@ -158,6 +164,8 @@ class MesiL1 : public L1Controller
     Counter writebacks_;
     Counter spinParks_;
     Counter spinWatchTimeouts_;
+
+    AttributionTable* attr_ = nullptr;
 };
 
 } // namespace cbsim

@@ -5,6 +5,7 @@
 #include <bit>
 
 #include "mem/addr.hh"
+#include "obs/attribution.hh"
 #include "sim/log.hh"
 #include "sim/trace.hh"
 
@@ -218,6 +219,8 @@ MesiLlcBank::handleGetX(const Message& msg, Line& line)
         txn.request = msg;
         txn.acksLeft = static_cast<unsigned>(std::popcount(to_inv));
         invFanout_.sample(txn.acksLeft);
+        if (attr_ != nullptr && msg.sync)
+            attr_->row(line_addr).invalidations += txn.acksLeft;
         txns_.emplace(line_addr, txn);
         pipe_.access(timing_.tagLatency, [this, to_inv, line_addr, msg] {
             for (CoreId c = 0; c < 64; ++c) {

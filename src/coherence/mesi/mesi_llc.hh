@@ -71,6 +71,13 @@ class MesiLlcBank : public LlcBank
 
     void registerStats(const StatsScope& scope);
 
+    /**
+     * Enable contention attribution: invalidation fan-out of
+     * sync-marked writes is charged to the written line in this
+     * bank's shard.
+     */
+    void setAttribution(AttributionTable* attr) { attr_ = attr; }
+
   private:
     struct DirInfo
     {
@@ -128,6 +135,8 @@ class MesiLlcBank : public LlcBank
      * the callback techniques avoid entirely (paper §2).
      */
     Histogram invFanout_;
+
+    AttributionTable* attr_ = nullptr;
 };
 
 } // namespace cbsim

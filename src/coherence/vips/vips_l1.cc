@@ -79,6 +79,7 @@ VipsL1::issueThrough(MemRequest req)
     msg.requester = core_;
     msg.addr = AddrLayout::wordAlign(req.addr);
     msg.sync = req.sync;
+    msg.spin = req.spinHint;
     msg.txn = nextTxn_++;
 
     switch (req.op) {

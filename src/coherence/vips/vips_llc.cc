@@ -3,6 +3,7 @@
 #include "debug/fault_injection.hh"
 #include "harness/json.hh"
 #include "mem/addr.hh"
+#include "obs/attribution.hh"
 #include "obs/trace_export.hh"
 #include "sim/log.hh"
 #include "sim/trace.hh"
@@ -166,6 +167,8 @@ VipsLlcBank::handleLdThrough(const Message& msg)
     maybeInjectEviction();
     cbdirAccesses_.inc();
     cbdir_.ldThrough(msg.addr, msg.requester);
+    if (attr_ != nullptr && msg.spin)
+        attr_->row(msg.addr).spinRereads++;
     chargeAccess(msg);
     sendToCore(MsgType::DataWord, msg, data_.read(msg.addr),
                timing_.dataLatency);
@@ -181,9 +184,13 @@ VipsLlcBank::handleGetCB(const Message& msg)
     handleEviction(res);
     if (res.blocked) {
         waiters_[AddrLayout::wordAlign(msg.addr)]
-                [msg.requester] = msg;
-        if (trace_ != nullptr)
+                [msg.requester] = Waiter{msg, eq_.now()};
+        if (attr_ != nullptr)
+            attr_->row(msg.addr).parks++;
+        if (trace_ != nullptr) {
             trace_->park(bank_, msg.requester, eq_.now());
+            trace_->linePark(msg.addr, msg.requester, eq_.now());
+        }
         return; // no LLC access, no response until a write wakes us
     }
     chargeAccess(msg);
@@ -214,9 +221,13 @@ VipsLlcBank::handleAtomic(const Message& msg)
         handleEviction(res);
         if (res.blocked) {
             waiters_[AddrLayout::wordAlign(msg.addr)]
-                    [msg.requester] = msg;
-            if (trace_ != nullptr)
+                    [msg.requester] = Waiter{msg, eq_.now()};
+            if (attr_ != nullptr)
+                attr_->row(msg.addr).parks++;
+            if (trace_ != nullptr) {
                 trace_->park(bank_, msg.requester, eq_.now());
+                trace_->linePark(msg.addr, msg.requester, eq_.now());
+            }
             return; // the whole RMW is held off in the callback directory
         }
     } else {
@@ -264,14 +275,25 @@ VipsLlcBank::processWakes(Addr word, const std::vector<CoreId>& initial,
         auto it = word_it->second.find(c);
         CBSIM_ASSERT(it != word_it->second.end(),
                      "wake for a core that is not parked");
-        const Message req = it->second;
+        const Message req = it->second.req;
+        const Tick parked_at = it->second.parkedAt;
         word_it->second.erase(it);
         if (word_it->second.empty())
             waiters_.erase(word_it);
 
         wakesSent_.inc();
-        if (trace_ != nullptr)
+        if (attr_ != nullptr) {
+            AttributionRow& row = attr_->row(word);
+            if (evicted)
+                row.wakeEvictions++;
+            else
+                row.wakes++;
+            row.parkTicks.sample(eq_.now() - parked_at);
+        }
+        if (trace_ != nullptr) {
             trace_->wake(bank_, c, eq_.now(), evicted);
+            trace_->lineWake(word, c, eq_.now());
+        }
         CBSIM_TRACE(TraceCategory::CbDir, eq_.now(), word,
                     "bank " << bank_ << " wake core " << c << " word=0x"
                             << std::hex << word << std::dec
@@ -318,7 +340,7 @@ VipsLlcBank::parkedWaiterList() const
 {
     std::vector<std::pair<Addr, CoreId>> out;
     for (const auto& [word, m] : waiters_) {
-        for (const auto& [core, req] : m)
+        for (const auto& [core, waiter] : m)
             out.emplace_back(word, core);
     }
     return out;
@@ -344,11 +366,11 @@ VipsLlcBank::dumpDebug(JsonWriter& w) const
     w.key("parked_waiters");
     w.beginArray();
     for (const auto& [word, m] : waiters_) {
-        for (const auto& [core, req] : m) {
+        for (const auto& [core, waiter] : m) {
             w.beginObject();
             w.field("word", static_cast<std::uint64_t>(word));
             w.field("core", static_cast<std::uint64_t>(core));
-            w.field("request", msgTypeName(req.type));
+            w.field("request", msgTypeName(waiter.req.type));
             w.endObject();
         }
     }

@@ -70,6 +70,13 @@ class VipsLlcBank : public LlcBank
      */
     void setTrace(TraceExporter* trace) { trace_ = trace; }
 
+    /**
+     * Enable contention attribution: LLC spin re-reads, parks, wakes,
+     * wake-evictions and park durations are charged to the word's line
+     * in this bank's shard. Null (default) costs one compare per site.
+     */
+    void setAttribution(AttributionTable* attr) { attr_ = attr; }
+
     void dumpDebug(JsonWriter& w) const override;
 
     void registerStats(const StatsScope& scope);
@@ -127,9 +134,17 @@ class VipsLlcBank : public LlcBank
     CallbackDirectory cbdir_;
     FaultInjector* faults_ = nullptr;
     TraceExporter* trace_ = nullptr;
+    AttributionTable* attr_ = nullptr;
 
-    /** Parked blocked callback requests: word -> core -> request. */
-    std::unordered_map<Addr, std::map<CoreId, Message>> waiters_;
+    /** One parked blocked callback request plus its park tick. */
+    struct Waiter
+    {
+        Message req;
+        Tick parkedAt = 0;
+    };
+
+    /** Parked blocked callback requests: word -> core -> waiter. */
+    std::unordered_map<Addr, std::map<CoreId, Waiter>> waiters_;
 
     Counter accesses_;     ///< LLC data accesses (Fig. 1/20 metric)
     Counter syncAccesses_;

@@ -1,6 +1,7 @@
 #include "core/core.hh"
 
 #include "harness/json.hh"
+#include "obs/attribution.hh"
 #include "obs/trace_export.hh"
 #include "sim/log.hh"
 
@@ -142,8 +143,14 @@ Core::step()
             Tick delay = t;
             if (ins.spin) {
                 const Tick b = backoff_.nextDelay(pc_);
-                if (backoff_.consecutiveRetries() > 0)
+                if (backoff_.consecutiveRetries() > 0) {
                     spinRetries_.inc();
+                    if (attr_ != nullptr) {
+                        const Addr ea = regs_[ins.addrReg] +
+                                        static_cast<Addr>(ins.offset);
+                        attr_->row(ea).backoffIters++;
+                    }
+                }
                 backoffCycles_.inc(b);
                 delay += b;
             } else {
@@ -243,6 +250,8 @@ Core::completeMemory(Word value)
         cbBlockedCycles_.inc(stalled);
         cbWakeLatency_.sample(stalled);
     }
+    if (attr_ != nullptr && (ins.sync || ins.spin))
+        attr_->row(pendingAddr_).cycles += stalled;
     if (trace_ != nullptr) {
         const char* state = pendingBlockingCb_ ? "cbdir-blocked"
                             : ins.spin         ? "spin"

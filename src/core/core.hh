@@ -102,6 +102,13 @@ class Core : public Clocked
      */
     void setTrace(TraceExporter* trace) { trace_ = trace; }
 
+    /**
+     * Enable contention attribution: sync/spin stall cycles and
+     * back-off iterations are charged to the target line in this
+     * core's shard. Null (default) costs one compare per site.
+     */
+    void setAttribution(AttributionTable* attr) { attr_ = attr; }
+
   private:
     /** Clocked wake-up: resume execution (see scheduleTick sites). */
     void tick() override { step(); }
@@ -164,6 +171,7 @@ class Core : public Clocked
     Histogram cbWakeLatency_;
 
     TraceExporter* trace_ = nullptr;
+    AttributionTable* attr_ = nullptr;
 };
 
 } // namespace cbsim

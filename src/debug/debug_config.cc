@@ -29,6 +29,8 @@ fromEnvironment()
     }
     if (const char* dir = std::getenv("CBSIM_TRACE_DIR"))
         cfg.obs.traceDir = dir;
+    if (envFlag("CBSIM_OBS_ATTR"))
+        cfg.obs.attribution = true;
     return cfg;
 }
 

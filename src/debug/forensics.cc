@@ -1,5 +1,7 @@
 #include "debug/forensics.hh"
 
+#include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -14,11 +16,29 @@ sanitizeLabel(const std::string& label)
         return "run";
     std::string out;
     out.reserve(label.size());
+    bool substituted = false;
     for (char c : label) {
         const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                         (c >= '0' && c <= '9') || c == '.' || c == '_' ||
                         c == '-';
+        if (!ok)
+            substituted = true;
         out.push_back(ok ? c : '_');
+    }
+    // Substitution is lossy ("a/b" and "a_b" collapse to the same
+    // stem), and colliding labels silently overwrite each other's
+    // trace/forensic files. Disambiguate with a short FNV-1a hash of
+    // the original label — a pure function, so filenames stay
+    // deterministic across runs and worker counts.
+    if (substituted) {
+        std::uint32_t h = 2166136261u;
+        for (char c : label) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 16777619u;
+        }
+        char suffix[12];
+        std::snprintf(suffix, sizeof(suffix), "-%08x", h);
+        out += suffix;
     }
     return out;
 }

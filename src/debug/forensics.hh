@@ -23,7 +23,10 @@ inline constexpr const char* kSchema = "cbsim-forensic-v1";
 
 /**
  * Filesystem-safe form of a run label: characters outside
- * [A-Za-z0-9._-] become '_'; empty labels become "run".
+ * [A-Za-z0-9._-] become '_'; empty labels become "run". When any
+ * character was substituted, a "-xxxxxxxx" FNV-1a hash of the original
+ * label is appended so distinct labels ("a/b" vs "a_b") cannot collide
+ * on the same file. Deterministic: a pure function of the label.
  */
 std::string sanitizeLabel(const std::string& label);
 

@@ -86,6 +86,32 @@ writeMetrics(JsonWriter& w, const RunResult& r)
         }
         w.endArray();
     }
+
+    // Present only when contention attribution ran (CBSIM_OBS_ATTR /
+    // ObsConfig::attribution). Field names come from kContentionFields
+    // so docs/RESULTS.md and scripts/check_docs.sh stay in lock-step.
+    if (!r.contention.empty()) {
+        w.key("contention");
+        w.beginArray();
+        for (const ContentionRow& row : r.contention) {
+            w.beginObject();
+            w.field(kContentionFields[0], contentionHexName(row.addr));
+            w.field(kContentionFields[1], row.symbol);
+            w.field(kContentionFields[2], row.cycles);
+            w.field(kContentionFields[3], row.invalidations);
+            w.field(kContentionFields[4], row.reacquires);
+            w.field(kContentionFields[5], row.spinRereads);
+            w.field(kContentionFields[6], row.backoffIters);
+            w.field(kContentionFields[7], row.parks);
+            w.field(kContentionFields[8], row.wakes);
+            w.field(kContentionFields[9], row.wakeEvictions);
+            w.field(kContentionFields[10], row.parkP50);
+            w.field(kContentionFields[11], row.parkP95);
+            w.field(kContentionFields[12], row.parkP99);
+            w.endObject();
+        }
+        w.endArray();
+    }
 }
 
 void

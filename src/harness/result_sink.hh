@@ -35,8 +35,11 @@ class ResultSink
      * v3: sync-latency percentiles (metrics sync_*_p50/p95/p99 and
      *     per-kind p50/p95 rows) and the optional per-run "epochs"
      *     time-series array (docs/OBSERVABILITY.md).
+     * v4: the optional per-run "contention" array — top contended
+     *     lines with per-technique attribution columns and symbolic
+     *     names (docs/OBSERVABILITY.md §Attribution).
      */
-    static constexpr unsigned kSchemaVersion = 3;
+    static constexpr unsigned kSchemaVersion = 4;
 
     explicit ResultSink(std::string bench_name);
 

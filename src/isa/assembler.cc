@@ -24,6 +24,12 @@ Assembler::label(const std::string& name)
         fatal("duplicate label: ", name);
 }
 
+void
+Assembler::dataSymbol(const std::string& name, Addr addr)
+{
+    symbols_.emplace(addr, name); // first binding wins
+}
+
 Instruction&
 Assembler::emit(Instruction ins)
 {
@@ -356,7 +362,7 @@ Assembler::assemble()
     }
     if (code_.empty() || code_.back().op != Opcode::Done)
         done();
-    return Program(std::move(code_));
+    return Program(std::move(code_), std::move(symbols_));
 }
 
 } // namespace cbsim

@@ -11,6 +11,7 @@
 #define CBSIM_ISA_ASSEMBLER_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,7 +26,9 @@ class Program
 {
   public:
     Program() = default;
-    explicit Program(std::vector<Instruction> code) : code_(std::move(code))
+    explicit Program(std::vector<Instruction> code,
+                     std::map<Addr, std::string> symbols = {})
+        : code_(std::move(code)), symbols_(std::move(symbols))
     {
     }
 
@@ -42,8 +45,17 @@ class Program
     /** Disassembly listing (for debugging and docs). */
     std::string listing() const;
 
+    /**
+     * Data symbols declared via Assembler::dataSymbol, address-ordered.
+     * Attribution (src/obs/attribution.hh) resolves contended line
+     * addresses against this map so reports print "lock0" /
+     * "barrier0.counter" instead of raw hex.
+     */
+    const std::map<Addr, std::string>& symbols() const { return symbols_; }
+
   private:
     std::vector<Instruction> code_;
+    std::map<Addr, std::string> symbols_;
 };
 
 /**
@@ -61,6 +73,13 @@ class Assembler
   public:
     /** Bind @p name to the next emitted instruction's address. */
     void label(const std::string& name);
+
+    /**
+     * Bind @p name to data address @p addr in the emitted Program's
+     * symbol table. First binding wins (sync emitters re-register on
+     * every episode); an address may carry only one name.
+     */
+    void dataSymbol(const std::string& name, Addr addr);
 
     // --- ALU / control -------------------------------------------------
     Instruction& movImm(Reg rd, std::uint64_t imm);
@@ -139,6 +158,7 @@ class Assembler
     std::vector<Instruction> code_;
     std::unordered_map<std::string, std::uint64_t> labels_;
     std::vector<std::pair<std::size_t, std::string>> fixups_;
+    std::map<Addr, std::string> symbols_;
 };
 
 } // namespace cbsim

@@ -121,6 +121,13 @@ struct Message
     bool sync = false;
 
     /**
+     * Request originates from a spin-marked instruction (a back-off
+     * re-read of a guard): lets the LLC attribute spin re-reads to the
+     * line without inspecting the issuing core's program.
+     */
+    bool spin = false;
+
+    /**
      * Size of this message in flits for the configured flit size.
      * Inline: computed for every injected message on the NoC hot path.
      */

@@ -1,0 +1,142 @@
+#include "obs/attribution.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mem/addr.hh"
+
+namespace cbsim {
+
+// One name per line so scripts/check_docs.sh can extract the list and
+// enforce that docs/RESULTS.md documents every contention[] field.
+const std::vector<std::string> kContentionFields = {
+    "addr",
+    "symbol",
+    "cycles",
+    "invalidations",
+    "reacquires",
+    "spin_rereads",
+    "backoff_iters",
+    "parks",
+    "wakes",
+    "wake_evictions",
+    "park_ticks_p50",
+    "park_ticks_p95",
+    "park_ticks_p99",
+};
+
+std::uint64_t
+AttributionRow::weight() const
+{
+    return cycles + invalidations + reacquires + spinRereads +
+           backoffIters + parks + wakes + wakeEvictions +
+           parkTicks.count;
+}
+
+void
+AttributionRow::merge(const AttributionRow& other)
+{
+    cycles += other.cycles;
+    invalidations += other.invalidations;
+    reacquires += other.reacquires;
+    spinRereads += other.spinRereads;
+    backoffIters += other.backoffIters;
+    parks += other.parks;
+    wakes += other.wakes;
+    wakeEvictions += other.wakeEvictions;
+    parkTicks.merge(other.parkTicks);
+}
+
+AttributionRow&
+AttributionTable::row(Addr line)
+{
+    line = AddrLayout::lineAlign(line);
+    auto it = rows_.find(line);
+    if (it != rows_.end())
+        return it->second;
+    if (rows_.size() >= capacity_) {
+        // Victim = smallest (weight, address): a total order over rows,
+        // so the choice is independent of hash iteration order and the
+        // bounded table degrades identically run-to-run.
+        auto victim = rows_.begin();
+        for (auto cand = rows_.begin(); cand != rows_.end(); ++cand) {
+            const std::uint64_t cw = cand->second.weight();
+            const std::uint64_t vw = victim->second.weight();
+            if (cw < vw || (cw == vw && cand->first < victim->first))
+                victim = cand;
+        }
+        rows_.erase(victim);
+        ++evictions_;
+    }
+    return rows_.emplace(line, AttributionRow{}).first->second;
+}
+
+void
+AttributionTable::mergeInto(std::map<Addr, AttributionRow>& out) const
+{
+    for (const auto& [line, row] : rows_)
+        out[line].merge(row);
+}
+
+std::string
+contentionHexName(Addr addr)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+// Lowest labeled address within [line, line+64) names the line; a lock
+// word and its same-line fields resolve to the word's own symbol.
+std::string
+contentionSymbolFor(Addr line, const std::map<Addr, std::string>& symbols)
+{
+    line = AddrLayout::lineAlign(line);
+    auto it = symbols.lower_bound(line);
+    if (it != symbols.end() && it->first < line + AddrLayout::lineBytes)
+        return it->second;
+    return contentionHexName(line);
+}
+
+std::vector<ContentionRow>
+buildContention(const std::vector<const AttributionTable*>& shards,
+                const std::map<Addr, std::string>& symbols,
+                std::size_t top_n)
+{
+    std::map<Addr, AttributionRow> merged;
+    for (const AttributionTable* shard : shards)
+        if (shard)
+            shard->mergeInto(merged);
+
+    std::vector<ContentionRow> rows;
+    rows.reserve(merged.size());
+    for (const auto& [line, r] : merged) {
+        ContentionRow out;
+        out.addr = line;
+        out.symbol = contentionSymbolFor(line, symbols);
+        out.cycles = r.cycles;
+        out.invalidations = r.invalidations;
+        out.reacquires = r.reacquires;
+        out.spinRereads = r.spinRereads;
+        out.backoffIters = r.backoffIters;
+        out.parks = r.parks;
+        out.wakes = r.wakes;
+        out.wakeEvictions = r.wakeEvictions;
+        out.parkP50 = r.parkTicks.p50();
+        out.parkP95 = r.parkTicks.p95();
+        out.parkP99 = r.parkTicks.p99();
+        rows.push_back(std::move(out));
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const ContentionRow& a, const ContentionRow& b) {
+                         if (a.cycles != b.cycles)
+                             return a.cycles > b.cycles;
+                         return a.addr < b.addr;
+                     });
+    if (rows.size() > top_n)
+        rows.resize(top_n);
+    return rows;
+}
+
+} // namespace cbsim

@@ -40,9 +40,24 @@ struct ObsConfig
      */
     std::string traceDir;
 
+    /**
+     * Per-line contention attribution (docs/OBSERVABILITY.md
+     * §Attribution): every technique's sync activity accounted to the
+     * line (and symbol) that caused it, surfaced as the contention[]
+     * array of schema v4 artifacts. CBSIM_OBS_ATTR=1 turns it on for a
+     * process; bench_all enables it for every job so artifacts always
+     * carry attribution. Off by default: the simulator's only cost is
+     * a null-pointer compare at each instrumentation site.
+     */
+    bool attribution = false;
+
     bool epochEnabled() const { return epochTicks != 0; }
     bool traceEnabled() const { return !traceDir.empty(); }
-    bool enabled() const { return epochEnabled() || traceEnabled(); }
+    bool attributionEnabled() const { return attribution; }
+    bool enabled() const
+    {
+        return epochEnabled() || traceEnabled() || attributionEnabled();
+    }
 };
 
 } // namespace cbsim

@@ -27,6 +27,12 @@ StatsScope::add(const std::string& name, Histogram& h) const
 }
 
 void
+StatsScope::add(const std::string& name, AttributionTable& t) const
+{
+    set_->add(qualify(name), t);
+}
+
+void
 StatsSnapshot::merge(const StatsSnapshot& other)
 {
     for (const auto& [name, value] : other.counters)

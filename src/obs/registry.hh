@@ -42,6 +42,7 @@ class StatsScope
 
     void add(const std::string& name, Counter& c) const;
     void add(const std::string& name, Histogram& h) const;
+    void add(const std::string& name, AttributionTable& t) const;
 
     /** Fully-qualified name of @p name under this scope. */
     std::string qualify(const std::string& name) const;

@@ -6,6 +6,8 @@
 
 #include "debug/forensics.hh"
 #include "harness/json.hh"
+#include "mem/addr.hh"
+#include "obs/attribution.hh"
 
 namespace cbsim {
 
@@ -30,6 +32,22 @@ writeMeta(JsonWriter& w, const char* metaName, std::uint32_t pid,
 
 } // namespace
 
+const char*
+TraceExporter::lineName(Addr word)
+{
+    const Addr line = AddrLayout::lineAlign(word);
+    auto it = lineNames_.find(line);
+    if (it != lineNames_.end())
+        return it->second;
+    static const std::map<Addr, std::string> kNoSymbols;
+    nameStore_.push_back(
+        contentionSymbolFor(line, symbols_ != nullptr ? *symbols_
+                                                      : kNoSymbols));
+    const char* name = nameStore_.back().c_str();
+    lineNames_.emplace(line, name);
+    return name;
+}
+
 void
 TraceExporter::writeJson(std::ostream& os) const
 {
@@ -49,6 +67,7 @@ TraceExporter::writeJson(std::ostream& os) const
     writeMeta(w, "process_name", pidCores, 0, false, "cores");
     writeMeta(w, "process_name", pidCbdir, 0, false, "callback-directory");
     writeMeta(w, "process_name", pidNoc, 0, false, "noc");
+    writeMeta(w, "process_name", pidLines, 0, false, "contended-lines");
     for (unsigned c = 0; c < numCores_; ++c)
         writeMeta(w, "thread_name", pidCores, c, true,
                   "core " + std::to_string(c));
@@ -67,6 +86,11 @@ TraceExporter::writeJson(std::ostream& os) const
             w.field("dur", ev.dur);
         if (ev.ph == 'i')
             w.field("s", "t"); // instant scope: thread
+        if (ev.ph == 'b' || ev.ph == 'e') {
+            // Async pair key: (cat, id, name) per the trace-event spec.
+            w.field("cat", "contention");
+            w.field("id", ev.arg);
+        }
         if (ev.argName != nullptr) {
             w.key("args");
             w.beginObject();

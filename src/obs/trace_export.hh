@@ -25,8 +25,11 @@
 #define CBSIM_OBS_TRACE_EXPORT_HH
 
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hh"
@@ -42,6 +45,7 @@ class TraceExporter
     static constexpr std::uint32_t pidCores = 1;
     static constexpr std::uint32_t pidCbdir = 2;
     static constexpr std::uint32_t pidNoc = 3;
+    static constexpr std::uint32_t pidLines = 4;
 
     TraceExporter(unsigned numCores, unsigned numBanks)
         : numCores_(numCores), numBanks_(numBanks)
@@ -83,6 +87,36 @@ class TraceExporter
             TraceEvent{name, 'C', pidNoc, 0, ts, 0, value, "value"});
     }
 
+    /**
+     * Data symbols for naming per-line tracks ("lock0" instead of hex);
+     * must outlive the exporter. Null keeps the hex fallback.
+     */
+    void
+    setSymbols(const std::map<Addr, std::string>* symbols)
+    {
+        symbols_ = symbols;
+    }
+
+    /**
+     * Begin a per-line async slice: core @p core parked on @p word's
+     * line. Pairs with lineWake on the "contended-lines" process, one
+     * slice per (line, core) park episode.
+     */
+    void
+    linePark(Addr word, CoreId core, Tick ts)
+    {
+        events_.push_back(TraceEvent{lineName(word), 'b', pidLines, 0,
+                                     ts, 0, asyncId(word, core), nullptr});
+    }
+
+    /** End the per-line async slice opened by linePark. */
+    void
+    lineWake(Addr word, CoreId core, Tick ts)
+    {
+        events_.push_back(TraceEvent{lineName(word), 'e', pidLines, 0,
+                                     ts, 0, asyncId(word, core), nullptr});
+    }
+
     std::size_t eventCount() const { return events_.size(); }
 
     /** Serialize the full trace (metadata + events) as JSON. */
@@ -113,9 +147,29 @@ class TraceExporter
         const char* argName; ///< nullptr = no args object
     };
 
+    /**
+     * Async 'b'/'e' pairs match on (name, id): one park episode per
+     * (line, core) gets a distinct id so concurrent waiters on the
+     * same line render as parallel slices, not nested ones.
+     */
+    static std::uint64_t
+    asyncId(Addr word, CoreId core)
+    {
+        return (static_cast<std::uint64_t>(core) << 48) ^ word;
+    }
+
+    /**
+     * Interned display name of @p word's line (symbol when labeled,
+     * hex otherwise). Stable storage: TraceEvent keeps const char*.
+     */
+    const char* lineName(Addr word);
+
     unsigned numCores_;
     unsigned numBanks_;
     std::vector<TraceEvent> events_;
+    const std::map<Addr, std::string>* symbols_ = nullptr;
+    std::deque<std::string> nameStore_;
+    std::unordered_map<Addr, const char*> lineNames_;
 };
 
 } // namespace cbsim

@@ -1,0 +1,357 @@
+#include "report/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "harness/table.hh"
+
+namespace cbsim {
+
+namespace {
+
+/** The per-figure pivot metrics, in render order. */
+struct FigureMetric
+{
+    const char* field; ///< metrics key in the artifact
+    const char* title; ///< table heading (paper figure it feeds)
+};
+
+constexpr FigureMetric kFigureMetrics[] = {
+    {"cycles", "execution cycles (Figs. 20-23)"},
+    {"llc_sync_accesses", "synchronization LLC accesses (Figs. 1, 20)"},
+    {"flit_hops", "network flit-hops (traffic)"},
+};
+
+bool
+isArtifact(const JsonValue& doc)
+{
+    return doc.isObject() && doc.get("schema_version").isNumber() &&
+           doc.get("runs").isArray();
+}
+
+std::string
+u64Str(double v)
+{
+    std::ostringstream os;
+    os << static_cast<std::uint64_t>(v);
+    return os.str();
+}
+
+/** Row label of one run: workload, plus cores when the sweep varies it. */
+std::string
+rowLabel(const JsonValue& run, bool multi_cores)
+{
+    const JsonValue& cfg = run.get("config");
+    std::string label = cfg.getString("workload");
+    if (label.empty())
+        label = run.getString("key");
+    if (multi_cores && cfg.get("cores").isNumber())
+        label += "/" + u64Str(cfg.getNumber("cores"));
+    return label;
+}
+
+} // namespace
+
+bool
+renderFigureTables(const JsonValue& doc, std::ostream& os)
+{
+    if (!isArtifact(doc)) {
+        os << "error: not a cbsim results artifact (missing "
+              "schema_version/runs)\n";
+        return false;
+    }
+    os << "artifact: " << doc.getString("bench") << " (schema v"
+       << u64Str(doc.getNumber("schema_version")) << ", "
+       << doc.get("runs").items().size() << " runs)\n";
+
+    // Pass 1: collect the pivot axes in first-seen order.
+    std::vector<std::string> techniques;
+    std::vector<std::string> rows;
+    std::vector<const JsonValue*> custom;
+    std::map<std::string, bool> seenCores; // workload -> >1 core count?
+    std::map<std::string, double> firstCores;
+    for (const JsonValue& run : doc.get("runs").items()) {
+        const JsonValue& cfg = run.get("config");
+        const std::string tech = cfg.getString("technique");
+        if (tech.empty()) {
+            custom.push_back(&run);
+            continue;
+        }
+        const std::string wl = cfg.getString("workload");
+        if (firstCores.count(wl) == 0)
+            firstCores[wl] = cfg.getNumber("cores");
+        else if (firstCores[wl] != cfg.getNumber("cores"))
+            seenCores[wl] = true;
+        if (std::find(techniques.begin(), techniques.end(), tech) ==
+            techniques.end())
+            techniques.push_back(tech);
+    }
+
+    // Pass 2: cell values keyed by (row, technique).
+    std::map<std::pair<std::string, std::string>, const JsonValue*> cells;
+    for (const JsonValue& run : doc.get("runs").items()) {
+        const JsonValue& cfg = run.get("config");
+        const std::string tech = cfg.getString("technique");
+        if (tech.empty())
+            continue;
+        const std::string wl = cfg.getString("workload");
+        const std::string label = rowLabel(run, seenCores.count(wl) != 0);
+        if (std::find(rows.begin(), rows.end(), label) == rows.end())
+            rows.push_back(label);
+        cells[{label, tech}] = &run;
+    }
+
+    for (const FigureMetric& metric : kFigureMetrics) {
+        if (rows.empty())
+            break;
+        os << "\n" << metric.title << "\n";
+        std::vector<std::string> headers{"workload"};
+        headers.insert(headers.end(), techniques.begin(),
+                       techniques.end());
+        TablePrinter t(os, headers, 20, 14);
+        for (const std::string& row : rows) {
+            std::vector<std::string> line{row};
+            for (const std::string& tech : techniques) {
+                auto it = cells.find({row, tech});
+                if (it == cells.end() ||
+                    !it->second->get("ok").boolean()) {
+                    line.push_back("-");
+                    continue;
+                }
+                line.push_back(u64Str(
+                    it->second->get("metrics").getNumber(metric.field)));
+            }
+            t.row(line);
+        }
+    }
+
+    if (!custom.empty()) {
+        os << "\ncustom runs\n";
+        TablePrinter t(os, {"key", "cycles", "llc_accesses", "flit_hops"},
+                       28, 14);
+        for (const JsonValue* run : custom) {
+            if (!run->get("ok").boolean()) {
+                t.row({run->getString("key"), "-", "-", "-"});
+                continue;
+            }
+            const JsonValue& m = run->get("metrics");
+            t.row({run->getString("key"), u64Str(m.getNumber("cycles")),
+                   u64Str(m.getNumber("llc_accesses")),
+                   u64Str(m.getNumber("flit_hops"))});
+        }
+    }
+    return true;
+}
+
+bool
+renderContention(const JsonValue& doc, std::ostream& os, std::size_t top_n)
+{
+    if (!isArtifact(doc)) {
+        os << "error: not a cbsim results artifact (missing "
+              "schema_version/runs)\n";
+        return false;
+    }
+    bool any = false;
+    for (const JsonValue& run : doc.get("runs").items()) {
+        const JsonValue& rows = run.get("contention");
+        if (!rows.isArray() || rows.items().empty())
+            continue;
+        any = true;
+        os << "\ncontention: " << run.getString("key") << "\n";
+        TablePrinter t(os,
+                       {"object", "cycles", "inv", "reacq", "spin_rr",
+                        "backoff", "parks", "wakes", "evict", "park_p95"},
+                       20, 10);
+        std::size_t printed = 0;
+        for (const JsonValue& row : rows.items()) {
+            if (printed++ >= top_n)
+                break;
+            std::string object = row.getString("symbol");
+            if (object.empty())
+                object = row.getString("addr");
+            t.row({object, u64Str(row.getNumber("cycles")),
+                   u64Str(row.getNumber("invalidations")),
+                   u64Str(row.getNumber("reacquires")),
+                   u64Str(row.getNumber("spin_rereads")),
+                   u64Str(row.getNumber("backoff_iters")),
+                   u64Str(row.getNumber("parks")),
+                   u64Str(row.getNumber("wakes")),
+                   u64Str(row.getNumber("wake_evictions")),
+                   fmt(row.getNumber("park_ticks_p95"), 1)});
+        }
+    }
+    if (!any)
+        os << "\n(no contention data: artifact predates schema v4 or "
+              "attribution was off)\n";
+    return true;
+}
+
+DiffResult
+diffArtifacts(const JsonValue& old_doc, const JsonValue& new_doc,
+              double threshold)
+{
+    DiffResult d;
+    if (!isArtifact(old_doc) || !isArtifact(new_doc)) {
+        d.regressions.push_back("not a cbsim results artifact");
+        return d;
+    }
+    if (old_doc.getNumber("schema_version") !=
+        new_doc.getNumber("schema_version"))
+        d.notes.push_back(
+            "schema version changed: v" +
+            u64Str(old_doc.getNumber("schema_version")) + " -> v" +
+            u64Str(new_doc.getNumber("schema_version")));
+
+    std::map<std::string, const JsonValue*> newRuns;
+    for (const JsonValue& run : new_doc.get("runs").items())
+        newRuns[run.getString("key")] = &run;
+
+    std::map<std::string, bool> oldSeen;
+    for (const JsonValue& oldRun : old_doc.get("runs").items()) {
+        const std::string key = oldRun.getString("key");
+        oldSeen[key] = true;
+        auto it = newRuns.find(key);
+        if (it == newRuns.end()) {
+            d.regressions.push_back(key + ": missing from new artifact");
+            continue;
+        }
+        const JsonValue& newRun = *it->second;
+        const bool oldOk = oldRun.get("ok").boolean();
+        const bool newOk = newRun.get("ok").boolean();
+        if (oldOk && !newOk) {
+            d.regressions.push_back(key + ": was ok, now " +
+                                    newRun.getString("status"));
+            continue;
+        }
+        if (!oldOk) {
+            if (newOk)
+                d.notes.push_back(key + ": was failing, now ok");
+            continue;
+        }
+
+        // Every metric is a cost: increases are regressions.
+        const JsonValue& newMetrics = newRun.get("metrics");
+        for (const auto& [name, oldVal] : oldRun.get("metrics").members()) {
+            if (!oldVal.isNumber() ||
+                !newMetrics.get(name).isNumber())
+                continue;
+            const double ov = oldVal.number();
+            const double nv = newMetrics.get(name).number();
+            if (ov == nv)
+                continue;
+            const double rel = (nv - ov) / (ov == 0.0 ? 1.0 : ov);
+            if (std::abs(rel) <= threshold)
+                continue;
+            std::ostringstream msg;
+            msg << key << ": " << name << " " << oldVal.text() << " -> "
+                << newMetrics.get(name).text() << " ("
+                << (rel > 0 ? "+" : "") << fmt(rel * 100.0, 1) << "%)";
+            if (rel > 0)
+                d.regressions.push_back(msg.str());
+            else
+                d.improvements.push_back(msg.str());
+        }
+    }
+    for (const auto& [key, run] : newRuns)
+        if (oldSeen.count(key) == 0)
+            d.notes.push_back(key + ": new run (no baseline)");
+    return d;
+}
+
+namespace {
+
+int
+usage(std::ostream& err)
+{
+    err << "usage: cbsim-report <artifact.json> [--top N]\n"
+           "       cbsim-report --diff <old.json> <new.json> "
+           "[--threshold FRAC]\n"
+           "\n"
+           "Render a bench/results artifact (docs/RESULTS.md) as "
+           "paper-style\n"
+           "tables plus the per-run contention attribution breakdown, "
+           "or diff\n"
+           "two artifacts and fail (exit 1) on cost-metric regressions "
+           "beyond\n"
+           "the threshold (default 0.02 = 2%).\n";
+    return 2;
+}
+
+} // namespace
+
+int
+reportMain(const std::vector<std::string>& args, std::ostream& os,
+           std::ostream& err)
+{
+    bool diffMode = false;
+    double threshold = 0.02;
+    std::size_t topN = 10;
+    std::vector<std::string> paths;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        if (a == "--help" || a == "-h") {
+            usage(os);
+            return 0;
+        }
+        if (a == "--diff") {
+            diffMode = true;
+        } else if (a == "--threshold" && i + 1 < args.size()) {
+            threshold = std::strtod(args[++i].c_str(), nullptr);
+        } else if (a == "--top" && i + 1 < args.size()) {
+            topN = static_cast<std::size_t>(
+                std::strtoul(args[++i].c_str(), nullptr, 10));
+        } else if (!a.empty() && a[0] == '-') {
+            err << "error: unknown option " << a << "\n";
+            return usage(err);
+        } else {
+            paths.push_back(a);
+        }
+    }
+
+    if (diffMode) {
+        if (paths.size() != 2)
+            return usage(err);
+        std::string error;
+        const JsonValue oldDoc = JsonValue::parseFile(paths[0], error);
+        if (!error.empty()) {
+            err << "error: " << error << "\n";
+            return 2;
+        }
+        const JsonValue newDoc = JsonValue::parseFile(paths[1], error);
+        if (!error.empty()) {
+            err << "error: " << error << "\n";
+            return 2;
+        }
+        const DiffResult d = diffArtifacts(oldDoc, newDoc, threshold);
+        for (const std::string& n : d.notes)
+            os << "note: " << n << "\n";
+        for (const std::string& s : d.improvements)
+            os << "improved: " << s << "\n";
+        for (const std::string& r : d.regressions)
+            os << "REGRESSION: " << r << "\n";
+        os << (d.ok() ? "diff ok" : "diff FAILED") << ": "
+           << d.regressions.size() << " regressions, "
+           << d.improvements.size() << " improvements, " << d.notes.size()
+           << " notes (threshold " << fmt(threshold * 100.0, 1) << "%)\n";
+        return d.ok() ? 0 : 1;
+    }
+
+    if (paths.size() != 1)
+        return usage(err);
+    std::string error;
+    const JsonValue doc = JsonValue::parseFile(paths[0], error);
+    if (!error.empty()) {
+        err << "error: " << error << "\n";
+        return 2;
+    }
+    if (!renderFigureTables(doc, os))
+        return 1;
+    if (!renderContention(doc, os, topN))
+        return 1;
+    return 0;
+}
+
+} // namespace cbsim

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * cbsim-report: render bench/results artifacts as paper-style tables
+ * and contention breakdowns, or diff two artifacts for regressions.
+ * All logic lives in report.{hh,cc} so tests drive it in-process.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "report/report.hh"
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return cbsim::reportMain(args, std::cout, std::cerr);
+}

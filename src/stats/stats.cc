@@ -95,6 +95,15 @@ StatSet::add(const std::string& name, Histogram& h)
         panic("duplicate histogram registration: ", name);
 }
 
+void
+StatSet::add(const std::string& name, AttributionTable& t)
+{
+    auto [it, inserted] = attributions_.emplace(name, &t);
+    (void)it;
+    if (!inserted)
+        panic("duplicate attribution registration: ", name);
+}
+
 std::uint64_t
 StatSet::counter(const std::string& name) const
 {

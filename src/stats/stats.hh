@@ -113,6 +113,11 @@ class Histogram
     HistogramData data_;
 };
 
+// Attribution shards (src/obs/attribution.hh) register alongside
+// counters; StatSet stores only pointers so src/stats stays below
+// src/obs in the layering.
+class AttributionTable;
+
 /**
  * A registry mapping dotted stat names ("llc.accesses") to live counters
  * and histograms owned by components.
@@ -124,6 +129,8 @@ class StatSet
     void add(const std::string& name, Counter& c);
     /** Register a histogram under @p name. */
     void add(const std::string& name, Histogram& h);
+    /** Register a contention attribution shard under @p name. */
+    void add(const std::string& name, AttributionTable& t);
 
     /** Value of a registered counter; fatal if missing. */
     std::uint64_t counter(const std::string& name) const;
@@ -160,11 +167,23 @@ class StatSet
     std::vector<std::string> counterNames() const;
     std::vector<std::string> histogramNames() const;
 
+    /**
+     * Every registered attribution shard, in name order. Chip folds
+     * these into RunResult::contention after a run; resetAll() does not
+     * touch them (shards are recreated per run by their owner).
+     */
+    const std::map<std::string, AttributionTable*>&
+    attributionShards() const
+    {
+        return attributions_;
+    }
+
   protected:
     // The observability registry (src/obs) extends this class with
     // scoped registration and snapshotting over the same maps.
     std::map<std::string, Counter*> counters_;
     std::map<std::string, Histogram*> histograms_;
+    std::map<std::string, AttributionTable*> attributions_;
 };
 
 /** Geometric mean of @p values; values must be positive. */

@@ -254,11 +254,13 @@ makeSrBarrier(SyncLayout& layout, unsigned num_threads,
     BarrierHandle b;
     b.algo = BarrierAlgo::SenseReversing;
     b.numThreads = num_threads;
+    b.name = layout.autoName("barrier");
     b.counter = layout.allocLine();
     b.senseWord = layout.allocLine();
     layout.init(b.counter, num_threads);
     layout.init(b.senseWord, 0);
     b.counterLock = makeLock(layout, counter_lock_algo, num_threads);
+    b.counterLock.name = b.name + ".lock";
     b.localSense.reserve(num_threads);
     for (CoreId t = 0; t < num_threads; ++t) {
         const Addr ls = layout.allocPrivateLine(t);
@@ -283,6 +285,7 @@ makeTreeBarrier(SyncLayout& layout, unsigned num_threads)
     BarrierHandle b;
     b.algo = BarrierAlgo::TreeSenseReversing;
     b.numThreads = num_threads;
+    b.name = layout.autoName("barrier");
     for (CoreId t = 0; t < num_threads; ++t) {
         const unsigned c0 = 2 * t + 1;
         const unsigned c1 = 2 * t + 2;
@@ -303,6 +306,22 @@ void
 emitBarrier(Assembler& a, const BarrierHandle& barrier, SyncFlavor flavor,
             CoreId tid, bool record)
 {
+    if (!barrier.name.empty()) {
+        if (barrier.algo == BarrierAlgo::SenseReversing) {
+            a.dataSymbol(barrier.name + ".counter", barrier.counter);
+            a.dataSymbol(barrier.name + ".sense", barrier.senseWord);
+        } else {
+            for (std::size_t t = 0; t < barrier.wakeSense.size(); ++t) {
+                const std::string n = std::to_string(t);
+                a.dataSymbol(barrier.name + ".cnr0." + n,
+                             barrier.childNotReady0[t]);
+                a.dataSymbol(barrier.name + ".cnr1." + n,
+                             barrier.childNotReady1[t]);
+                a.dataSymbol(barrier.name + ".wake." + n,
+                             barrier.wakeSense[t]);
+            }
+        }
+    }
     if (barrier.algo == BarrierAlgo::SenseReversing)
         emitSrBarrier(a, barrier, flavor, tid, record);
     else

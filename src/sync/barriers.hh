@@ -39,6 +39,9 @@ struct BarrierHandle
     BarrierAlgo algo = BarrierAlgo::SenseReversing;
     unsigned numThreads = 0;
 
+    /** Symbol stem for attribution ("barrier0"); see LockHandle::name. */
+    std::string name;
+
     // SR barrier:
     Addr counter = 0;         ///< arrivals remaining
     Addr senseWord = 0;       ///< global sense

@@ -45,6 +45,12 @@ SyncLayout::allocPrivateLine(CoreId tid)
     return a;
 }
 
+std::string
+SyncLayout::autoName(const std::string& stem)
+{
+    return stem + std::to_string(nameCounts_[stem]++);
+}
+
 void
 SyncLayout::init(Addr addr, Word value)
 {

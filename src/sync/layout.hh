@@ -7,6 +7,8 @@
 #ifndef CBSIM_SYNC_LAYOUT_HH
 #define CBSIM_SYNC_LAYOUT_HH
 
+#include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -53,6 +55,14 @@ class SyncLayout
      */
     Addr allocPrivateLine(CoreId tid);
 
+    /**
+     * Next instance name for @p stem: "lock0", "lock1", "barrier0" —
+     * one counter per stem, so names are stable and unique within a
+     * layout. Used by the sync make* builders to name handles; the
+     * emitters register those names as data symbols for attribution.
+     */
+    std::string autoName(const std::string& stem);
+
     /** Record an initial word value, applied by apply(). */
     void init(Addr addr, Word value);
 
@@ -68,6 +78,7 @@ class SyncLayout
     Addr next_;
     Addr nextPage_;
     std::vector<std::pair<Addr, Word>> inits_;
+    std::map<std::string, unsigned> nameCounts_;
 
     struct PrivateRegion
     {

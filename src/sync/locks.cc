@@ -560,11 +560,25 @@ emitMcsRelease(Assembler& a, const LockHandle& lock, SyncFlavor flavor,
 
 } // namespace
 
+void
+registerLockSymbols(Assembler& a, const LockHandle& lock)
+{
+    if (lock.name.empty())
+        return;
+    a.dataSymbol(lock.name, lock.lockWord);
+    if (lock.aux != 0)
+        a.dataSymbol(lock.name + ".next_ticket", lock.aux);
+    for (std::size_t i = 0; i < lock.nodes.size(); ++i)
+        a.dataSymbol(lock.name + ".node" + std::to_string(i),
+                     lock.nodes[i]);
+}
+
 LockHandle
 makeLock(SyncLayout& layout, LockAlgo algo, unsigned num_threads)
 {
     LockHandle h;
     h.algo = algo;
+    h.name = layout.autoName("lock");
     h.lockWord = layout.allocLine();
 
     if (algo == LockAlgo::Ticket) {
@@ -583,14 +597,19 @@ makeLock(SyncLayout& layout, LockAlgo algo, unsigned num_threads)
     } else if (algo != LockAlgo::Clh) {
         layout.init(h.lockWord, 0); // flag lock starts free
     } else {
-        // Tail starts pointing at a released node.
+        // Tail starts pointing at a released node. Node lines are also
+        // recorded in h.nodes (as for MCS) so the emitters can bind
+        // attribution symbols to the lines threads actually spin on.
         const Addr initial_node = layout.allocLine();
         layout.init(initial_node, 0); // succ_wait = 0
         layout.init(h.lockWord, initial_node);
+        h.nodes.reserve(num_threads + 1);
+        h.nodes.push_back(initial_node);
         h.privateState.reserve(num_threads);
         for (CoreId t = 0; t < num_threads; ++t) {
             const Addr node = layout.allocLine();
             layout.init(node, 0);
+            h.nodes.push_back(node);
             const Addr priv = layout.allocPrivateLine(t);
             layout.init(priv + 0, node); // I
             layout.init(priv + 8, 0);    // prev
@@ -604,6 +623,7 @@ void
 emitAcquire(Assembler& a, const LockHandle& lock, SyncFlavor flavor,
             CoreId tid, bool record)
 {
+    registerLockSymbols(a, lock);
     switch (lock.algo) {
       case LockAlgo::TestAndSet:
         emitTasAcquire(a, lock, flavor, record);
@@ -627,6 +647,7 @@ void
 emitRelease(Assembler& a, const LockHandle& lock, SyncFlavor flavor,
             CoreId tid, bool record)
 {
+    registerLockSymbols(a, lock);
     switch (lock.algo) {
       case LockAlgo::TestAndSet:
       case LockAlgo::TestAndTestAndSet:

@@ -70,6 +70,14 @@ inline constexpr Reg sense = 10; ///< barriers: local sense
 struct LockHandle
 {
     LockAlgo algo = LockAlgo::TestAndTestAndSet;
+
+    /**
+     * Symbol stem for attribution ("lock0", "barrier0.lock"); the
+     * emitters bind it (and derived names like "lock0.next_ticket") to
+     * the handle's addresses via Assembler::dataSymbol.
+     */
+    std::string name;
+
     Addr lockWord = 0; ///< flag, CLH/MCS tail pointer, or now_serving
 
     /** Ticket: the next_ticket counter (its own line). */
@@ -78,7 +86,13 @@ struct LockHandle
     // CLH only:
     std::vector<Addr> privateState; ///< per-thread line: [I, prev]
 
-    // MCS only: per-thread queue node line: [locked, next].
+    /**
+     * Queue node lines. MCS: one per thread ([locked, next]), indexed
+     * by tid. CLH: the initial released node followed by one node per
+     * thread — emitters never index these (CLH reaches nodes through
+     * privateState); they exist so attribution symbols can be bound to
+     * the lines threads spin on.
+     */
     std::vector<Addr> nodes;
 };
 
@@ -100,6 +114,13 @@ void emitAcquire(Assembler& a, const LockHandle& lock, SyncFlavor flavor,
 /** Emit the release sequence (including the self-down fence). */
 void emitRelease(Assembler& a, const LockHandle& lock, SyncFlavor flavor,
                  CoreId tid, bool record = true);
+
+/**
+ * Bind @p lock's attribution symbols (name, name.next_ticket,
+ * name.nodeI) into @p a's data-symbol table. Called by the emitters;
+ * no-op for an unnamed handle.
+ */
+void registerLockSymbols(Assembler& a, const LockHandle& lock);
 
 } // namespace cbsim
 

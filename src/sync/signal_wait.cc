@@ -24,15 +24,28 @@ SignalHandle
 makeSignal(SyncLayout& layout)
 {
     SignalHandle s;
+    s.name = layout.autoName("signal");
     s.counter = layout.allocLine();
     layout.init(s.counter, 0);
     return s;
 }
 
+namespace {
+
+void
+registerSignalSymbol(Assembler& a, const SignalHandle& s)
+{
+    if (!s.name.empty())
+        a.dataSymbol(s.name, s.counter);
+}
+
+} // namespace
+
 void
 emitSignal(Assembler& a, const SignalHandle& s, SyncFlavor flavor,
            bool record)
 {
+    registerSignalSymbol(a, s);
     if (record)
         a.recordStart(SyncKind::Signal);
     if (fenced(flavor))
@@ -62,6 +75,7 @@ void
 emitWait(Assembler& a, const SignalHandle& s, SyncFlavor flavor,
          bool record)
 {
+    registerSignalSymbol(a, s);
     if (record)
         a.recordStart(SyncKind::Wait);
     a.movImm(sreg::addr, s.counter);

@@ -17,6 +17,9 @@ namespace cbsim {
 /** A signal/wait counter in simulated memory. */
 struct SignalHandle
 {
+    /** Symbol stem for attribution ("signal0"); see LockHandle::name. */
+    std::string name;
+
     Addr counter = 0;
 };
 

@@ -10,6 +10,7 @@
 #include "debug/noc_tracker.hh"
 #include "debug/watchdog.hh"
 #include "harness/json.hh"
+#include "obs/attribution.hh"
 #include "obs/epoch.hh"
 #include "obs/trace_export.hh"
 #include "sim/log.hh"
@@ -110,6 +111,31 @@ Chip::buildObs()
             bank->setTrace(trace_.get());
     }
 
+    if (obs.attributionEnabled()) {
+        // One bounded shard per instrumented component, registered as
+        // "<scope>.attr". Shards for components without attribution
+        // sites (VIPS L1s) are not created.
+        auto shard = [this](const std::string& scope) {
+            attrShards_.push_back(std::make_unique<AttributionTable>());
+            stats_.scope(scope).add("attr", *attrShards_.back());
+            return attrShards_.back().get();
+        };
+        for (CoreId i = 0; i < cfg_.numCores; ++i)
+            cores_[i]->setAttribution(shard("core." + std::to_string(i)));
+        for (std::size_t i = 0; i < mesiL1s_.size(); ++i)
+            mesiL1s_[i]->setAttribution(
+                shard("l1." + std::to_string(i)));
+        for (std::size_t i = 0; i < mesiBanks_.size(); ++i)
+            mesiBanks_[i]->setAttribution(
+                shard("llc." + std::to_string(i)));
+        for (std::size_t i = 0; i < vipsBanks_.size(); ++i)
+            vipsBanks_[i]->setAttribution(
+                shard("llc." + std::to_string(i)));
+    }
+
+    if (trace_ != nullptr)
+        trace_->setSymbols(&symbols_);
+
     if (obs.epochEnabled()) {
         epochSampler_ = std::make_unique<EpochSampler>(stats_, [this] {
             std::uint64_t blocked = 0;
@@ -187,6 +213,10 @@ Chip::~Chip() = default;
 void
 Chip::setProgram(CoreId core, Program program)
 {
+    // Merge the thread's data symbols chip-wide; emitters register the
+    // same handle names on every thread, so first binding wins.
+    for (const auto& [addr, name] : program.symbols())
+        symbols_.emplace(addr, name);
     cores_.at(core)->setProgram(std::move(program));
 }
 
@@ -237,6 +267,14 @@ Chip::run()
     result.simWallMs = sim_wall_ms;
     if (epochSampler_ != nullptr)
         result.epochs = epochSampler_->rows();
+    if (!attrShards_.empty()) {
+        std::vector<const AttributionTable*> shards;
+        shards.reserve(attrShards_.size());
+        for (const auto& s : attrShards_)
+            shards.push_back(s.get());
+        result.contention =
+            buildContention(shards, symbols_, RunResult::kContentionTopN);
+    }
     if (trace_ != nullptr)
         trace_->writeFile(cfg_.debug.obs.traceDir, cfg_.debug.label);
     return result;

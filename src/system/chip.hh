@@ -109,6 +109,18 @@ class Chip
     std::unique_ptr<EpochSampler> epochSampler_;
     std::unique_ptr<TraceExporter> trace_;
 
+    /**
+     * Contention attribution shards (one per instrumented component,
+     * registered as "<scope>.attr"); empty when attribution is off.
+     */
+    std::vector<std::unique_ptr<AttributionTable>> attrShards_;
+
+    /**
+     * Data symbols merged from every loaded program (first binding
+     * wins), resolved against contended line addresses after the run.
+     */
+    std::map<Addr, std::string> symbols_;
+
     unsigned finished_ = 0;
     bool ran_ = false;
 };

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/core.hh"
+#include "obs/attribution.hh"
 #include "obs/epoch.hh"
 #include "stats/stats.hh"
 
@@ -69,6 +70,16 @@ struct RunResult
      * array of schema-v3 artifacts.
      */
     std::vector<EpochRow> epochs;
+
+    /**
+     * Top contended lines by attributed stall cycles; empty unless
+     * contention attribution was enabled (ObsConfig::attribution).
+     * Serialized as the "contention" array of schema-v4 artifacts.
+     */
+    std::vector<ContentionRow> contention;
+
+    /** Rows kept in `contention` (ranked by cycles desc, addr asc). */
+    static constexpr std::size_t kContentionTopN = 16;
 
     /** Sum counters named "<any prefix>.<suffix>" starting with prefix. */
     static std::uint64_t sumWhere(const StatSet& stats,

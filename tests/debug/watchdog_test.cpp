@@ -191,10 +191,15 @@ TEST(Forensics, ReportIsWellFormedOnAHealthyChip)
 
 TEST(Forensics, LabelSanitization)
 {
+    // Substituted labels carry a hash of the original so distinct
+    // labels can never collide on one file ("a/b" vs "a_b").
     EXPECT_EQ(forensics::sanitizeLabel("fig20/CLH/CB-One"),
-              "fig20_CLH_CB-One");
+              "fig20_CLH_CB-One-6ccf597e");
     EXPECT_EQ(forensics::sanitizeLabel(""), "run");
-    EXPECT_EQ(forensics::sanitizeLabel("a b\tc"), "a_b_c");
+    EXPECT_EQ(forensics::sanitizeLabel("a b\tc"), "a_b_c-4f5959e6");
+    // Clean labels stay verbatim — no suffix churn for existing users.
+    EXPECT_EQ(forensics::sanitizeLabel("smoke_run.1"), "smoke_run.1");
+    EXPECT_NE(forensics::sanitizeLabel("a/b"), forensics::sanitizeLabel("a_b"));
 }
 
 } // namespace

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Contention attribution tests (docs/OBSERVABILITY.md §Attribution):
+ * bounded-table eviction with a deterministic victim order, the
+ * cross-shard fold, symbol resolution, and the schema-v4 determinism
+ * contract — the "contention" array must be byte-identical across
+ * sweep worker counts and with the invariant checker toggled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "debug/debug_config.hh"
+#include "harness/experiment.hh"
+#include "harness/result_sink.hh"
+#include "harness/sweep.hh"
+#include "obs/attribution.hh"
+
+namespace cbsim {
+namespace {
+
+TEST(AttributionTable, AccumulatesPerLine)
+{
+    AttributionTable t;
+    t.row(0x1000).cycles += 10;
+    t.row(0x1008).cycles += 5; // same 64 B line as 0x1000
+    t.row(0x2000).parks += 1;
+
+    EXPECT_EQ(t.size(), 2u);
+    std::map<Addr, AttributionRow> merged;
+    t.mergeInto(merged);
+    EXPECT_EQ(merged.at(0x1000).cycles, 15u);
+    EXPECT_EQ(merged.at(0x2000).parks, 1u);
+}
+
+TEST(AttributionTable, EvictsTheSmallestWeightDeterministically)
+{
+    AttributionTable t(2);
+    t.row(0x1000).cycles = 100;
+    t.row(0x2000).cycles = 5;
+    t.row(0x3000).parks = 1; // full: must evict 0x2000 (weight 5)
+
+    EXPECT_EQ(t.evictions(), 1u);
+    std::map<Addr, AttributionRow> merged;
+    t.mergeInto(merged);
+    EXPECT_EQ(merged.count(0x1000), 1u);
+    EXPECT_EQ(merged.count(0x2000), 0u);
+    EXPECT_EQ(merged.count(0x3000), 1u);
+}
+
+TEST(AttributionTable, EvictionTieBreaksOnAddress)
+{
+    // Equal weights: the lower address is the victim — a total order,
+    // so the choice never depends on hash-map iteration order.
+    AttributionTable t(2);
+    t.row(0x2000).cycles = 7;
+    t.row(0x1000).cycles = 7;
+    t.row(0x3000).cycles = 1;
+
+    std::map<Addr, AttributionRow> merged;
+    t.mergeInto(merged);
+    EXPECT_EQ(merged.count(0x1000), 0u);
+    EXPECT_EQ(merged.count(0x2000), 1u);
+    EXPECT_EQ(merged.count(0x3000), 1u);
+}
+
+TEST(BuildContention, FoldsShardsAndResolvesSymbols)
+{
+    AttributionTable a, b;
+    a.row(0x1000).cycles = 10;
+    a.row(0x1000).invalidations = 2;
+    b.row(0x1000).cycles = 30; // same line via a second shard
+    b.row(0x2040).cycles = 5;
+    b.row(0x3000).cycles = 90;
+
+    // 0x1004 labels the middle of 0x1000's line: lowest labeled
+    // address within the line wins. 0x3000's line is unlabeled.
+    const std::map<Addr, std::string> symbols = {
+        {0x1004, "lock0"}, {0x1020, "shadowed"}, {0x2040, "barrier0"}};
+
+    const auto rows = buildContention({&a, &b}, symbols, 16);
+    ASSERT_EQ(rows.size(), 3u);
+    // Ranked by attributed cycles, descending.
+    EXPECT_EQ(rows[0].addr, 0x3000u);
+    EXPECT_EQ(rows[0].symbol, contentionHexName(0x3000));
+    EXPECT_EQ(rows[1].addr, 0x1000u);
+    EXPECT_EQ(rows[1].symbol, "lock0");
+    EXPECT_EQ(rows[1].cycles, 40u);
+    EXPECT_EQ(rows[1].invalidations, 2u);
+    EXPECT_EQ(rows[2].addr, 0x2040u);
+    EXPECT_EQ(rows[2].symbol, "barrier0");
+
+    // top_n truncates after ranking.
+    EXPECT_EQ(buildContention({&a, &b}, symbols, 2).size(), 2u);
+}
+
+TEST(BuildContention, FieldTableMatchesTheRowShape)
+{
+    // kContentionFields is the serialization contract (ResultSink
+    // order and the check_docs.sh lint both read it).
+    ASSERT_EQ(kContentionFields.size(), 13u);
+    EXPECT_EQ(kContentionFields[0], "addr");
+    EXPECT_EQ(kContentionFields[1], "symbol");
+    EXPECT_EQ(kContentionFields[2], "cycles");
+    EXPECT_EQ(kContentionFields[9], "wake_evictions");
+    EXPECT_EQ(kContentionFields[12], "park_ticks_p99");
+}
+
+/**
+ * Run one micro per technique with attribution on and @p workers sweep
+ * threads; serialize to the schema-v4 artifact. Worker threads resolve
+ * DebugConfig::current() from the process defaults, so attribution is
+ * enabled there (and restored).
+ */
+std::string
+attributedSweepJson(unsigned workers, bool invariants)
+{
+    DebugConfig& defaults = DebugConfig::processDefaults();
+    const DebugConfig saved = defaults;
+    defaults.obs.attribution = true;
+    defaults.checkInvariants = invariants;
+
+    SweepRunner runner(workers);
+    runner.add(SweepJob::forMicro("inv", SyncMicro::TtasLock,
+                                  Technique::Invalidation, 4, 2, 500));
+    runner.add(SweepJob::forMicro("bo10", SyncMicro::TtasLock,
+                                  Technique::BackOff10, 4, 2, 500));
+    runner.add(SweepJob::forMicro("cb1", SyncMicro::TtasLock,
+                                  Technique::CbOne, 4, 2, 500));
+    const auto outcomes = runner.run();
+    defaults = saved;
+
+    ResultSink sink("attribution_test");
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+        sink.add(runner.job(i), outcomes[i]);
+    }
+    return sink.toJson();
+}
+
+TEST(AttributionDeterminism, ContentionIsByteIdenticalAcrossWorkers)
+{
+    const std::string serial = attributedSweepJson(1, false);
+    const std::string parallel = attributedSweepJson(4, false);
+    EXPECT_NE(serial.find("\"contention\""), std::string::npos);
+    // Every technique attributes against the same (symbolic) lock.
+    EXPECT_NE(serial.find("\"symbol\": \"lock0\""), std::string::npos);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(AttributionDeterminism, InvariantCheckingDoesNotPerturbContention)
+{
+    // The checker observes the same simulation; attribution counts
+    // must not depend on it (docs/RESULTS.md determinism contract).
+    const std::string unchecked = attributedSweepJson(2, false);
+    const std::string checked = attributedSweepJson(2, true);
+    EXPECT_EQ(unchecked, checked);
+}
+
+TEST(AttributionDeterminism, RunsCarryAllThreeTechniqueColumns)
+{
+    const ExperimentResult off =
+        runSyncMicro(SyncMicro::TtasLock, Technique::CbOne, 4, 2, 500);
+    EXPECT_TRUE(off.run.contention.empty());
+
+    DebugConfig cfg = DebugConfig::current();
+    cfg.obs.attribution = true;
+    DebugScope scope(cfg);
+
+    const ExperimentResult inv = runSyncMicro(
+        SyncMicro::TtasLock, Technique::Invalidation, 4, 2, 500);
+    const ExperimentResult bo =
+        runSyncMicro(SyncMicro::TtasLock, Technique::BackOff10, 4, 2, 500);
+    const ExperimentResult cb =
+        runSyncMicro(SyncMicro::TtasLock, Technique::CbOne, 4, 2, 500);
+
+    ASSERT_FALSE(inv.run.contention.empty());
+    ASSERT_FALSE(bo.run.contention.empty());
+    ASSERT_FALSE(cb.run.contention.empty());
+    // MESI: invalidation fan-out; VIPS: spin re-reads / back-off;
+    // callback: parks and wakes with park-duration percentiles.
+    EXPECT_GT(inv.run.contention[0].invalidations, 0u);
+    EXPECT_GT(bo.run.contention[0].spinRereads, 0u);
+    EXPECT_GT(cb.run.contention[0].parks, 0u);
+    EXPECT_GT(cb.run.contention[0].wakes, 0u);
+    EXPECT_GT(cb.run.contention[0].parkP95, 0.0);
+
+    // Attribution is observation only: identical simulated execution.
+    EXPECT_EQ(cb.run.cycles, off.run.cycles);
+    EXPECT_EQ(cb.run.llcAccesses, off.run.llcAccesses);
+}
+
+} // namespace
+} // namespace cbsim

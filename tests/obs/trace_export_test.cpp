@@ -55,22 +55,51 @@ TEST(TraceExporter, EventKindsSerializeWithTheirPhases)
 
     const test::JsonValue root = test::parseJson(json);
     const auto& events = root.find("traceEvents")->array;
-    // Metadata first (3 process names + 4 cores + 4 banks), then ours.
-    ASSERT_EQ(events.size(), 11u + 5u);
-    const test::JsonValue& slice = events[11];
+    // Metadata first (4 process names + 4 cores + 4 banks), then ours.
+    ASSERT_EQ(events.size(), 12u + 5u);
+    const test::JsonValue& slice = events[12];
     EXPECT_EQ(slice.find("name")->string, "spin");
     EXPECT_EQ(slice.find("ph")->string, "X");
     EXPECT_EQ(slice.find("ts")->number, 100.0);
     EXPECT_EQ(slice.find("dur")->number, 150.0);
     EXPECT_EQ(slice.find("tid")->number, 1.0);
 
-    const test::JsonValue& park = events[12];
+    const test::JsonValue& park = events[13];
     EXPECT_EQ(park.find("ph")->string, "i");
     EXPECT_EQ(park.find("args")->find("core")->number, 1.0);
 
-    EXPECT_EQ(events[14].find("name")->string, "wake-evict");
-    EXPECT_EQ(events[15].find("ph")->string, "C");
-    EXPECT_EQ(events[15].find("args")->find("value")->number, 17.0);
+    EXPECT_EQ(events[15].find("name")->string, "wake-evict");
+    EXPECT_EQ(events[16].find("ph")->string, "C");
+    EXPECT_EQ(events[16].find("args")->find("value")->number, 17.0);
+}
+
+TEST(TraceExporter, ContendedLineSlicesPairOnSymbolicNames)
+{
+    std::map<Addr, std::string> symbols{{0x1008, "lock0"}};
+    TraceExporter t(2, 1);
+    t.setSymbols(&symbols);
+    t.linePark(0x1008, 1, 100); // 0x1008's line is labeled "lock0"
+    t.lineWake(0x1008, 1, 200);
+    t.linePark(0x2000, 0, 150); // unlabeled line: hex fallback
+
+    const std::string json = jsonOf(t);
+    const auto errs = test::validateTrace(json);
+    EXPECT_TRUE(errs.empty()) << errs.front();
+
+    const test::JsonValue root = test::parseJson(json);
+    const auto& events = root.find("traceEvents")->array;
+    // 4 process metas + 2 core threads + 1 bank thread, then ours.
+    ASSERT_EQ(events.size(), 7u + 3u);
+    const test::JsonValue& park = events[7];
+    const test::JsonValue& wakeEv = events[8];
+    EXPECT_EQ(park.find("name")->string, "lock0");
+    EXPECT_EQ(park.find("ph")->string, "b");
+    EXPECT_EQ(park.find("pid")->number, 4.0);
+    EXPECT_EQ(park.find("cat")->string, "contention");
+    EXPECT_EQ(wakeEv.find("ph")->string, "e");
+    // The 'b'/'e' pair matches on the same async id.
+    EXPECT_EQ(park.find("id")->number, wakeEv.find("id")->number);
+    EXPECT_EQ(events[9].find("name")->string, "0x2000");
 }
 
 TEST(TraceExporter, WriteFileSanitizesTheLabel)
@@ -82,7 +111,9 @@ TEST(TraceExporter, WriteFileSanitizesTheLabel)
     t.coreSlice(0, "mem", 0, 10);
     const std::string path = t.writeFile(dir, "fig20/CLH CB-One");
     ASSERT_FALSE(path.empty());
-    EXPECT_EQ(path, dir + "/fig20_CLH_CB-One.trace.json");
+    // Substituted labels get a hash suffix so "fig20/CLH CB-One" and
+    // "fig20_CLH_CB-One" never overwrite each other's trace.
+    EXPECT_EQ(path, dir + "/fig20_CLH_CB-One-7a7e3c17.trace.json");
 
     std::ifstream in(path);
     ASSERT_TRUE(in.good());

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the reporting layer behind cbsim-report: the JSON parser
+ * (the read-side complement of harness/json.hh), figure-table and
+ * contention rendering, the artifact diff, and the CLI entry point's
+ * exit-code contract (0 ok / 1 regression / 2 usage or parse error).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "report/json_value.hh"
+#include "report/report.hh"
+
+namespace cbsim {
+namespace {
+
+TEST(JsonValue, ParsesScalarsContainersAndEscapes)
+{
+    std::string err;
+    const JsonValue v = JsonValue::parse(
+        R"({"a": 1, "b": [true, null, -2.5e1], "s": "x\n\"y\""})", err);
+    ASSERT_TRUE(err.empty()) << err;
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.getNumber("a"), 1.0);
+    EXPECT_EQ(v.get("a").text(), "1"); // raw token survives for display
+    const auto& arr = v.get("b").items();
+    ASSERT_EQ(arr.size(), 3u);
+    EXPECT_TRUE(arr[0].boolean());
+    EXPECT_TRUE(arr[1].isNull());
+    EXPECT_EQ(arr[2].number(), -25.0);
+    EXPECT_EQ(v.getString("s"), "x\n\"y\"");
+    // Insertion order is preserved (artifacts have deterministic keys).
+    EXPECT_EQ(v.members()[0].first, "a");
+    EXPECT_EQ(v.members()[2].first, "s");
+}
+
+TEST(JsonValue, ReportsErrorsWithLineNumbers)
+{
+    std::string err;
+    JsonValue::parse("{\n  \"a\": ,\n}", err);
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+
+    JsonValue::parse("{} trailing", err);
+    EXPECT_NE(err.find("trailing"), std::string::npos);
+
+    JsonValue::parse("[1, 2", err);
+    EXPECT_FALSE(err.empty());
+
+    // Absent keys chain to a shared null instead of throwing.
+    const JsonValue v = JsonValue::parse("{}", err);
+    EXPECT_TRUE(v.get("missing").get("nested").isNull());
+    EXPECT_EQ(v.getNumber("missing"), 0.0);
+}
+
+/** A minimal two-run schema-v4 artifact, parsed. */
+JsonValue
+sampleArtifact(std::uint64_t invCycles, bool cbOk)
+{
+    std::ostringstream os;
+    os << R"({
+      "schema_version": 4, "generator": "cbsim", "bench": "t",
+      "meta": {},
+      "runs": [
+        {"key": "m/Invalidation",
+         "config": {"kind": "micro", "workload": "TTS",
+                    "technique": "Invalidation", "cores": 4},
+         "ok": true, "status": "ok",
+         "metrics": {"cycles": )"
+       << invCycles << R"(, "llc_sync_accesses": 33, "flit_hops": 478},
+         "contention": [
+           {"addr": "0x40000040", "symbol": "lock0", "cycles": 2772,
+            "invalidations": 17, "reacquires": 6, "spin_rereads": 0,
+            "backoff_iters": 10, "parks": 0, "wakes": 0,
+            "wake_evictions": 0, "park_ticks_p50": 0,
+            "park_ticks_p95": 0, "park_ticks_p99": 0}]},
+        {"key": "m/CB-One",
+         "config": {"kind": "micro", "workload": "TTS",
+                    "technique": "CB-One", "cores": 4},
+         "ok": )"
+       << (cbOk ? "true" : "false") << R"(,
+         "status": ")" << (cbOk ? "ok" : "timeout") << R"(",
+         "metrics": {"cycles": 6162, "llc_sync_accesses": 29,
+                     "flit_hops": 140}}
+      ]})";
+    std::string err;
+    JsonValue v = JsonValue::parse(os.str(), err);
+    EXPECT_TRUE(err.empty()) << err;
+    return v;
+}
+
+TEST(Report, RendersFigureTablesAndContention)
+{
+    std::ostringstream os;
+    ASSERT_TRUE(renderFigureTables(sampleArtifact(7016, true), os));
+    const std::string tables = os.str();
+    EXPECT_NE(tables.find("schema v4"), std::string::npos);
+    EXPECT_NE(tables.find("Invalidation"), std::string::npos);
+    EXPECT_NE(tables.find("CB-One"), std::string::npos);
+    EXPECT_NE(tables.find("7016"), std::string::npos);
+
+    std::ostringstream cs;
+    ASSERT_TRUE(renderContention(sampleArtifact(7016, true), cs, 10));
+    EXPECT_NE(cs.str().find("lock0"), std::string::npos);
+    EXPECT_NE(cs.str().find("2772"), std::string::npos);
+
+    // Not-an-artifact input is rejected, not rendered.
+    std::string err;
+    std::ostringstream bad;
+    EXPECT_FALSE(renderFigureTables(JsonValue::parse("{}", err), bad));
+}
+
+TEST(Report, DiffFlagsRegressionsImprovementsAndFailures)
+{
+    // +11% cycles on one run: a regression at the default 2% threshold.
+    const DiffResult worse =
+        diffArtifacts(sampleArtifact(7016, true),
+                      sampleArtifact(7800, true), 0.02);
+    ASSERT_EQ(worse.regressions.size(), 1u);
+    EXPECT_NE(worse.regressions[0].find("cycles"), std::string::npos);
+    EXPECT_NE(worse.regressions[0].find("7016 -> 7800"),
+              std::string::npos);
+    EXPECT_FALSE(worse.ok());
+
+    // The same delta under a 20% threshold passes.
+    EXPECT_TRUE(diffArtifacts(sampleArtifact(7016, true),
+                              sampleArtifact(7800, true), 0.20)
+                    .ok());
+
+    // Improvements are informational, never failures.
+    const DiffResult better = diffArtifacts(
+        sampleArtifact(7800, true), sampleArtifact(7016, true), 0.02);
+    EXPECT_TRUE(better.ok());
+    ASSERT_EQ(better.improvements.size(), 1u);
+
+    // A run flipping ok -> failed is always a regression.
+    const DiffResult broke = diffArtifacts(sampleArtifact(7016, true),
+                                           sampleArtifact(7016, false),
+                                           0.02);
+    ASSERT_EQ(broke.regressions.size(), 1u);
+    EXPECT_NE(broke.regressions[0].find("timeout"), std::string::npos);
+
+    // Identical artifacts diff clean.
+    EXPECT_TRUE(diffArtifacts(sampleArtifact(7016, true),
+                              sampleArtifact(7016, true), 0.02)
+                    .ok());
+}
+
+TEST(Report, CliExitCodes)
+{
+    std::ostringstream os, err;
+    // Usage errors: 2.
+    EXPECT_EQ(reportMain({}, os, err), 2);
+    EXPECT_EQ(reportMain({"--diff", "one.json"}, os, err), 2);
+    EXPECT_EQ(reportMain({"--bogus"}, os, err), 2);
+    // Unreadable artifact: 2.
+    EXPECT_EQ(reportMain({"/nonexistent/a.json"}, os, err), 2);
+    EXPECT_EQ(
+        reportMain({"--diff", "/nonexistent/a.json", "/nonexistent/b.json"},
+                   os, err),
+        2);
+    // --help prints usage and succeeds.
+    EXPECT_EQ(reportMain({"--help"}, os, err), 0);
+    EXPECT_NE(os.str().find("usage:"), std::string::npos);
+}
+
+} // namespace
+} // namespace cbsim

@@ -298,13 +298,14 @@ validateTrace(const std::string& text)
             errs.push_back(at + " has no name");
         const JsonValue* ph = ev.find("ph");
         if (ph == nullptr || !ph->isString() || ph->string.size() != 1 ||
-            std::string("MXiC").find(ph->string) == std::string::npos) {
+            std::string("MXiCbe").find(ph->string) == std::string::npos) {
             errs.push_back(at + " has a bad ph");
             continue;
         }
         const JsonValue* pid = ev.find("pid");
         if (pid == nullptr || !pid->isNumber() ||
-            (pid->number != 1 && pid->number != 2 && pid->number != 3))
+            (pid->number != 1 && pid->number != 2 && pid->number != 3 &&
+             pid->number != 4))
             errs.push_back(at + " has an unknown pid");
 
         const char phase = ph->string[0];
@@ -343,6 +344,16 @@ validateTrace(const std::string& text)
             if (args == nullptr || !args->isObject() ||
                 args->object.empty())
                 errs.push_back(at + " counter has no args");
+        }
+        if (phase == 'b' || phase == 'e') {
+            // Async contended-line slices pair on (cat, id, name).
+            const JsonValue* cat = ev.find("cat");
+            if (cat == nullptr || !cat->isString())
+                errs.push_back(at + " async event has no cat");
+            if (ev.find("id") == nullptr)
+                errs.push_back(at + " async event has no id");
+            if (pid != nullptr && pid->isNumber() && pid->number != 4)
+                errs.push_back(at + " async event off the lines pid");
         }
     }
     return errs;
