@@ -46,6 +46,12 @@ struct BenchMode
     bool writeJson = true;
     bool profile = false; ///< per-module host-perf summary to stderr
     std::string outDir = "bench/results";
+
+    // Crash-safe sweep options (docs/ROBUSTNESS.md §Crash-safe sweeps).
+    bool isolate = false;  ///< fork each job into a child (--isolate)
+    bool resume = false;   ///< replay completed cells from the journal
+    unsigned retries = 0;  ///< extra attempts for failed cells
+    std::string quarantineDir; ///< repro bundles; "" = <outDir>/../quarantine
 };
 
 BenchMode& mode();

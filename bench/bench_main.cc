@@ -11,11 +11,17 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <set>
 
 #include "debug/debug_config.hh"
+#include "harness/journal.hh"
 #include "harness/json.hh"
+#include "harness/result_codec.hh"
+#include "report/json_value.hh"
 #include "sim/log.hh"
 
 namespace cbsim::bench {
@@ -77,6 +83,25 @@ usage(const char* argv0)
            "to stderr\n"
         << "                (host-dependent; never written into the "
            "JSON artifacts)\n"
+        << "  --isolate     fork each job into a child process; a "
+           "crashing cell becomes\n"
+        << "                a 'crashed' row instead of killing the "
+           "sweep (docs/ROBUSTNESS.md)\n"
+        << "  --resume      replay completed cells from the journal of "
+           "an interrupted\n"
+        << "                sweep; the final artifact is byte-identical "
+           "to an uninterrupted run\n"
+        << "  --retries N   re-run failed/timed-out/crashed cells up to "
+           "N extra times\n"
+        << "                with bounded deterministic backoff "
+           "(default: 0)\n"
+        << "  --quarantine-dir D  repro bundles for cells that fail "
+           "every attempt\n"
+        << "                (default: <out-dir>/../quarantine)\n"
+        << "  --only-key K  run only the cell with this exact key "
+           "(repeatable); repro\n"
+        << "                mode: no artifacts, no tables — used by "
+           "quarantine bundles\n"
         << "  --only NAME   run only the named module (repeatable; "
            "bench_all)\n"
         << "  --list        list the linked modules and exit\n"
@@ -156,6 +181,7 @@ benchMain(int argc, char** argv)
     unsigned max_failures = 0;
     double job_timeout_s = 0.0;
     std::vector<std::string> only;
+    std::vector<std::string> only_keys;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -213,6 +239,30 @@ benchMain(int argc, char** argv)
             check_invariants = true;
         } else if (a == "--profile") {
             mode().profile = true;
+        } else if (a == "--isolate") {
+            mode().isolate = true;
+        } else if (a == "--resume") {
+            mode().resume = true;
+        } else if (a == "--retries" && i + 1 < argc) {
+            if (!parseJobs(argv[++i], mode().retries)) {
+                std::cerr << "--retries: not a number: " << argv[i]
+                          << "\n";
+                return 2;
+            }
+        } else if (a.rfind("--retries=", 0) == 0) {
+            if (!parseJobs(a.substr(10), mode().retries)) {
+                std::cerr << "--retries: not a number: " << a.substr(10)
+                          << "\n";
+                return 2;
+            }
+        } else if (a == "--quarantine-dir" && i + 1 < argc) {
+            mode().quarantineDir = argv[++i];
+        } else if (a.rfind("--quarantine-dir=", 0) == 0) {
+            mode().quarantineDir = a.substr(17);
+        } else if (a == "--only-key" && i + 1 < argc) {
+            only_keys.push_back(argv[++i]);
+        } else if (a.rfind("--only-key=", 0) == 0) {
+            only_keys.push_back(a.substr(11));
         } else if (a == "--only" && i + 1 < argc) {
             only.push_back(argv[++i]);
         } else if (a == "--list") {
@@ -259,6 +309,25 @@ benchMain(int argc, char** argv)
     }
     currentModule().clear();
 
+    // --only-key repro mode (what a quarantine bundle's rerun line
+    // invokes): run just the named cells, skip artifacts and tables.
+    if (!only_keys.empty()) {
+        auto& pending = pendingJobs();
+        std::vector<std::pair<std::string, SweepJob>> kept;
+        for (const auto& want : only_keys) {
+            const auto it = std::find_if(
+                pending.begin(), pending.end(),
+                [&](const auto& p) { return p.second.key == want; });
+            if (it == pending.end()) {
+                std::cerr << "unknown cell key: " << want << "\n";
+                return 2;
+            }
+            kept.push_back(*it);
+        }
+        pending = std::move(kept);
+        mode().writeJson = false;
+    }
+
     // Process-wide debug defaults: every chip built by this process's
     // jobs inherits these (plus the per-job label the runner installs).
     DebugConfig& dbg = DebugConfig::processDefaults();
@@ -270,19 +339,116 @@ benchMain(int argc, char** argv)
     // (schema v4); the bounded shards keep the cost negligible.
     dbg.obs.attribution = true;
 
+    // Sweep-level sizing annotations folded into every cell's journal
+    // hash, so a --smoke journal can never satisfy a full-size sweep
+    // even when cell keys coincide (result_codec.hh).
+    const std::string sweep_meta =
+        "cores=" + std::to_string(mode().cores) +
+        ";scale=" + JsonWriter::number(mode().scale) +
+        ";micro_iters=" + std::to_string(mode().microIters);
+    const auto journal_path = [&](const std::string& module_name) {
+        return mode().outDir + "/" + module_name + ".json.journal";
+    };
+
+    // The exact command a quarantined cell's repro bundle re-runs:
+    // this invocation minus the flags that must not replay.
+    std::string rerun_prefix = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--resume")
+            continue;
+        if ((a == "--retries" || a == "--only-key" ||
+             a == "--max-failures") &&
+            i + 1 < argc) {
+            ++i;
+            continue;
+        }
+        if (a.rfind("--retries=", 0) == 0 ||
+            a.rfind("--only-key=", 0) == 0 ||
+            a.rfind("--max-failures=", 0) == 0)
+            continue;
+        rerun_prefix += " " + a;
+    }
+
+    std::string quarantine_dir = mode().quarantineDir;
+    if (quarantine_dir.empty()) {
+        const std::filesystem::path out(mode().outDir);
+        quarantine_dir =
+            (out.has_parent_path() ? out.parent_path() / "quarantine"
+                                   : std::filesystem::path("quarantine"))
+                .string();
+    }
+
+    // --resume: load every module's journal; a cell whose config hash
+    // matches a journaled line is replayed instead of re-run.
+    std::map<std::string, std::string> journal_rows; // hash -> raw row
+    if (mode().resume && mode().writeJson) {
+        for (const auto& m : mods)
+            for (auto& e : ResultJournal::load(journal_path(m.name)))
+                journal_rows[e.cell] = std::move(e.row);
+    }
+
     SweepRunner runner(mode().jobs);
     runner.setMaxFailures(max_failures);
     runner.setJobTimeoutS(job_timeout_s);
+    runner.setIsolate(mode().isolate);
+    runner.setRetries(mode().retries);
+    runner.setQuarantineDir(quarantine_dir);
+    runner.setRerunPrefix(rerun_prefix);
+
+    struct ReplayedCell
+    {
+        std::string row; ///< verbatim journal bytes for the artifact
+        JobOutcome outcome;
+    };
+    std::map<std::string, ReplayedCell> replayed_cells; // by cell key
     std::map<std::string, std::size_t> key_to_index;
+    std::vector<std::string> index_module; // runner index -> module
+    std::set<std::string> seen_keys;
     for (auto& [module_name, job] : pendingJobs()) {
-        if (!key_to_index.emplace(job.key, runner.jobCount()).second)
+        if (!seen_keys.insert(job.key).second)
             fatal("duplicate bench cell key: ", job.key);
+        const auto jr = journal_rows.find(jobConfigHash(
+            job, ResultSink::kSchemaVersion, sweep_meta));
+        if (jr != journal_rows.end()) {
+            std::string parse_error;
+            const JsonValue row =
+                JsonValue::parse(jr->second, parse_error);
+            if (parse_error.empty() &&
+                row.getString("key") == job.key) {
+                ReplayedCell cell;
+                cell.row = jr->second;
+                cell.outcome.ok = true;
+                cell.outcome.status = JobStatus::Ok;
+                cell.outcome.attempts = 0; // producing run's count is
+                                           // inside the replayed row
+                cell.outcome.result = parseRowResult(row);
+                replayed_cells.emplace(job.key, std::move(cell));
+                continue;
+            }
+        }
+        key_to_index.emplace(job.key, runner.jobCount());
+        index_module.push_back(module_name);
         runner.add(job);
     }
 
+    // Journals are written as cells complete, one flushed line each, so
+    // a killed sweep only loses the in-flight cell (--resume replays
+    // the rest). Only successful cells are journaled: failures are
+    // retried by the resumed run instead of replayed.
+    std::map<std::string, std::unique_ptr<ResultJournal>> journals;
+    if (mode().writeJson)
+        for (const auto& m : mods)
+            journals.emplace(m.name, std::make_unique<ResultJournal>(
+                                         journal_path(m.name)));
+
     const std::size_t total = runner.jobCount();
     std::cout << "cbsim bench: " << total << " simulations on "
-              << runner.workers() << " worker thread(s)\n";
+              << runner.workers() << " worker thread(s)";
+    if (!replayed_cells.empty())
+        std::cout << " (" << replayed_cells.size()
+                  << " cells replayed from journal)";
+    std::cout << "\n";
 
     const auto t0 = std::chrono::steady_clock::now();
     std::size_t done = 0;
@@ -296,6 +462,15 @@ benchMain(int argc, char** argv)
                 std::cout << "  " << jobStatusName(out.status);
             }
             std::cout << "\n";
+            if (out.ok && !journals.empty()) {
+                const SweepJob& job = runner.job(i);
+                const auto it = journals.find(index_module[i]);
+                if (it != journals.end())
+                    it->second->append(
+                        jobConfigHash(job, ResultSink::kSchemaVersion,
+                                      sweep_meta),
+                        serializeRunRow(job, out));
+            }
         });
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -304,9 +479,12 @@ benchMain(int argc, char** argv)
     std::cout << "sweep finished in " << fmt(wall_s, 2) << " s\n";
 
     // Publish results for the table printers (failed cells print as
-    // zeros and are reported at the end).
+    // zeros and are reported at the end; replayed cells contribute the
+    // reconstruction parsed from their journal row).
     for (std::size_t i = 0; i < outcomes.size(); ++i)
         cache()[runner.job(i).key] = outcomes[i].result;
+    for (const auto& [key, cell] : replayed_cells)
+        cache()[key] = cell.outcome.result;
 
     for (const auto& m : mods) {
         ResultSink sink(m.name);
@@ -316,8 +494,12 @@ benchMain(int argc, char** argv)
         for (const auto& [module_name, job] : pendingJobs()) {
             if (module_name != m.name)
                 continue;
-            const std::size_t i = key_to_index.at(job.key);
-            sink.add(job, outcomes[i]);
+            const auto rc = replayed_cells.find(job.key);
+            if (rc != replayed_cells.end())
+                sink.addReplayed(job, rc->second.row,
+                                 rc->second.outcome);
+            else
+                sink.add(job, outcomes[key_to_index.at(job.key)]);
         }
         if (mode().writeJson) {
             const std::string path =
@@ -325,6 +507,19 @@ benchMain(int argc, char** argv)
             sink.writeFile(path);
             std::cout << "wrote " << path << " (" << sink.size()
                       << " runs)\n";
+            const auto jit = journals.find(m.name);
+            if (jit != journals.end() && jit->second->degraded())
+                std::cerr << "warning: journal write failed for "
+                          << m.name
+                          << "; --resume cannot skip its cells\n";
+            if (sink.allOk()) {
+                // The artifact now supersedes the journal.
+                ResultJournal::removeFile(journal_path(m.name));
+            } else {
+                std::cerr << "journal kept: " << journal_path(m.name)
+                          << " (re-run with --resume to retry the "
+                             "failed cells)\n";
+            }
         }
     }
 
@@ -339,9 +534,11 @@ benchMain(int argc, char** argv)
             for (const auto& [module_name, job] : pendingJobs()) {
                 if (module_name != m.name)
                     continue;
-                const std::size_t i = key_to_index.at(job.key);
-                events += outcomes[i].result.run.events;
-                wall_ms += outcomes[i].wallMs;
+                const auto it = key_to_index.find(job.key);
+                if (it == key_to_index.end())
+                    continue; // replayed: no host-perf numbers
+                events += outcomes[it->second].result.run.events;
+                wall_ms += outcomes[it->second].wallMs;
             }
             all_events += events;
             all_wall += wall_ms;
@@ -364,8 +561,11 @@ benchMain(int argc, char** argv)
                   << " Mev/s\n";
     }
 
-    for (const auto& m : mods)
-        m.print();
+    // Repro mode runs a hand-picked subset; the table printers would
+    // fatal on the cells that were left out.
+    if (only_keys.empty())
+        for (const auto& m : mods)
+            m.print();
 
     unsigned failures = 0;
     for (std::size_t i = 0; i < outcomes.size(); ++i) {

@@ -14,6 +14,10 @@
 #      src/system/run_result.cc appears backticked in docs/RESULTS.md,
 #      and every EpochSampler::kFieldNames entry from src/obs/epoch.cc
 #      appears backticked in docs/OBSERVABILITY.md.
+#   6. Crash-safe sweeps: every harness fault site declared in
+#      src/harness/harness_faults.cc (kHarnessFaultSites) and every
+#      crash-safety flag of the bench driver is documented in
+#      docs/ROBUSTNESS.md.
 #
 # Usage: scripts/check_docs.sh [repo-root]   (default: script's parent)
 
@@ -146,7 +150,31 @@ if [ -f docs/RESULTS.md ] && [ -f docs/OBSERVABILITY.md ]; then
     done
 fi
 
+# ---- 6. crash-safe sweep coverage of docs/ROBUSTNESS.md --------------------
+if [ -f docs/ROBUSTNESS.md ]; then
+    # Fault sites are declared one per line in the kHarnessFaultSites
+    # initializer precisely so they can be extracted here.
+    sites=$(sed -n '/kHarnessFaultSites = {/,/};/p' \
+                src/harness/harness_faults.cc \
+        | grep -o '"[a-z][a-z-]*"' | tr -d '"' | sort -u)
+    [ -n "$sites" ] || \
+        err "could not parse kHarnessFaultSites from src/harness/harness_faults.cc"
+    for s in $sites; do
+        if ! grep -q "\`$s\`" docs/ROBUSTNESS.md; then
+            err "harness fault site $s is not documented in docs/ROBUSTNESS.md"
+        fi
+    done
+    # The crash-safe execution flags the bench driver grew must be
+    # documented next to the machinery they drive.
+    for flag in --isolate --resume --retries --quarantine-dir --only-key; do
+        if ! grep -q -- "\`$flag" docs/ROBUSTNESS.md; then
+            err "bench flag $flag is not documented in docs/ROBUSTNESS.md"
+        fi
+    done
+fi
+
 if [ "$fail" -eq 0 ]; then
-    echo "check_docs: OK (subsystems, opcodes, invariants, links, stats)"
+    echo "check_docs: OK (subsystems, opcodes, invariants, links, stats," \
+         "crash-safety)"
 fi
 exit $fail

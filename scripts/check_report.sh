@@ -68,6 +68,39 @@ if ! grep -q "REGRESSION" "$scratch/worsediff.out"; then
     status=1
 fi
 
+# Partial-artifact golden (docs/ROBUSTNESS.md §Crash-safe sweeps): a
+# checked-in artifact with one crashed + quarantined row, produced by a
+# kill-child chaos run. The render must flag it, and diffing it against
+# the fault-free smoke golden must report the quarantined cell as a
+# regression (exit 1).
+partial="$root/tests/golden/partial/fig01_motivation.json"
+if [ ! -f "$partial" ]; then
+    echo "check_report: missing partial golden $partial" >&2
+    status=1
+else
+    "$bin" "$partial" > "$scratch/partial.out" 2>&1
+    if ! grep -q "WARNING: partial artifact" "$scratch/partial.out"; then
+        echo "check_report: partial render not flagged" >&2
+        status=1
+    fi
+    if ! grep -q "quarantined" "$scratch/partial.out"; then
+        echo "check_report: partial render does not count quarantined" >&2
+        status=1
+    fi
+    "$bin" --diff "$golden_dir/fig01_motivation.json" "$partial" \
+        > "$scratch/partialdiff.out" 2>&1
+    rc=$?
+    if [ "$rc" -ne 1 ]; then
+        echo "check_report: partial diff exited $rc, want 1" >&2
+        status=1
+    fi
+    if ! grep -qi "quarantined" "$scratch/partialdiff.out"; then
+        echo "check_report: partial diff does not name the quarantined" \
+             "cell" >&2
+        status=1
+    fi
+fi
+
 # Garbage input: exit 2.
 echo "not json" > "$scratch/garbage.json"
 "$bin" "$scratch/garbage.json" > /dev/null 2>&1

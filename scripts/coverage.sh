@@ -25,10 +25,13 @@ then
     exit 77
 fi
 
-# The unit-test binaries the ratchet measures (the cbsim_test targets;
-# soak and the nested-build ctest entries are excluded on purpose).
+# The unit-test binaries the ratchet measures (the cbsim_test targets
+# plus the chaos-tier crash_safety_test, which is the only exerciser of
+# the crash-safe sweep layer; soak and the nested-build ctest entries
+# are excluded on purpose).
 targets="sim_test noc_test mem_test isa_test callback_test protocol_test \
-sync_test workload_test obs_test harness_test debug_test integration_test"
+sync_test workload_test obs_test harness_test debug_test integration_test \
+report_test crash_safety_test"
 
 cmake -S "$root" -B "$build" -DCMAKE_BUILD_TYPE=Debug \
       -DCBSIM_COVERAGE=ON >/dev/null || exit 1

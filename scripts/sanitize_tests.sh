@@ -8,7 +8,9 @@
 # use-after-move, buffer overruns, and alignment bugs mechanically. The
 # soak tier additionally drives the fault-injection recovery paths
 # (forced callback-directory evictions, delayed messages) under the
-# sanitizers — see docs/ROBUSTNESS.md.
+# sanitizers, and the chaos tier (crash_safety_test) covers the
+# crash-safe sweep layer's fork + pipe teardown and journal I/O —
+# see docs/ROBUSTNESS.md.
 #
 # Uses a nested build tree so the sanitizer flags never leak into the
 # primary build; the tree is reused incrementally across runs.
@@ -39,7 +41,9 @@ cmake -S "$src" -B "$bld" \
     echo "sanitize_tests: configure failed; see $bld.configure.log" >&2
     exit 1
 }
-cmake --build "$bld" --target sim_test noc_test debug_test soak_test \
+cmake --build "$bld" \
+      --target sim_test noc_test debug_test soak_test \
+               harness_test crash_safety_test \
       > "$bld.build.log" 2>&1 || {
     echo "sanitize_tests: build failed; see $bld.build.log" >&2
     tail -n 40 "$bld.build.log" >&2
@@ -52,7 +56,8 @@ export ASAN_OPTIONS UBSAN_OPTIONS
 
 status=0
 for bin in "$bld/tests/sim_test" "$bld/tests/noc_test" \
-           "$bld/tests/debug_test" "$bld/tests/soak_test"; do
+           "$bld/tests/debug_test" "$bld/tests/soak_test" \
+           "$bld/tests/harness_test" "$bld/tests/crash_safety_test"; do
     echo "sanitize_tests: running $bin"
     "$bin" || status=1
 done

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Deterministic harness-level fault injection (docs/ROBUSTNESS.md
+ * §Crash-safe sweeps). Extends the chip-level FaultInjector philosophy
+ * (src/debug/fault_injection.hh) from the simulated machine to the
+ * sweep harness itself: the recovery paths of the crash-safe execution
+ * layer — child-crash classification, journal-write failure, whole-
+ * process kill, transient-failure retry — are provoked on purpose by
+ * tests instead of discovered in production sweeps.
+ *
+ * Faults are described by the CBSIM_HARNESS_FAULTS environment
+ * variable, a comma-separated list of sites, each optionally pinned to
+ * the Nth occurrence of its event:
+ *
+ *     CBSIM_HARNESS_FAULTS="kill-child@3,transient-once"
+ *
+ * Counting is per process and 1-based; with --jobs 1 every count is a
+ * pure function of submission order, so a chaos run is reproducible.
+ */
+
+#ifndef CBSIM_HARNESS_HARNESS_FAULTS_HH
+#define CBSIM_HARNESS_HARNESS_FAULTS_HH
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cbsim {
+
+/** The injectable harness fault sites (names are load-bearing:
+ * scripts/check_docs.sh requires each documented in ROBUSTNESS.md). */
+extern const std::vector<std::string> kHarnessFaultSites;
+
+/** Which harness faults fire, and at which occurrence (0 = off). */
+struct HarnessFaultPlan
+{
+    /** SIGKILL the Nth forked --isolate child before it runs its job
+     * (simulates a hard cell crash: segfault/OOM-kill). */
+    unsigned killChildAt = 0;
+
+    /** Fail the Nth journal append as if write(2) returned EIO. */
+    unsigned journalEioAt = 0;
+
+    /** SIGKILL the whole harness process right after the Nth journal
+     * append is durably flushed (simulates operator ^C -9 / power cut
+     * mid-sweep; the --resume path must recover from exactly this). */
+    unsigned sweepKillAt = 0;
+
+    /** Fail the first attempt of every sweep job with an injected
+     * transient error, so --retries must recover each cell once. */
+    bool transientOnce = false;
+
+    bool
+    enabled() const
+    {
+        return killChildAt != 0 || journalEioAt != 0 || sweepKillAt != 0 ||
+               transientOnce;
+    }
+
+    /**
+     * Parse a CBSIM_HARNESS_FAULTS spec ("site@N,site,...").
+     * @param error receives a diagnostic on malformed specs
+     * @return the plan; disabled (and @p error set) on parse failure
+     */
+    static HarnessFaultPlan parse(const std::string& spec,
+                                  std::string& error);
+};
+
+/**
+ * Turns a HarnessFaultPlan into per-site decisions. Counters are
+ * atomic so a parallel sweep (--jobs N) can consult them from any
+ * worker; each site counts its own events independently, mirroring the
+ * per-site RNG streams of the chip-level injector.
+ */
+class HarnessFaultInjector
+{
+  public:
+    explicit HarnessFaultInjector(const HarnessFaultPlan& plan)
+        : plan_(plan)
+    {}
+
+    const HarnessFaultPlan& plan() const { return plan_; }
+
+    /** Should the child forked for the next job kill itself? */
+    bool
+    killChildNow()
+    {
+        return plan_.killChildAt != 0 &&
+               ++childSpawns_ == plan_.killChildAt;
+    }
+
+    /** Should this journal append fail with a simulated I/O error? */
+    bool
+    journalEioNow()
+    {
+        return plan_.journalEioAt != 0 &&
+               ++journalWrites_ == plan_.journalEioAt;
+    }
+
+    /** Should the harness SIGKILL itself after this journal append? */
+    bool
+    sweepKillNow()
+    {
+        return plan_.sweepKillAt != 0 &&
+               ++journalAppends_ == plan_.sweepKillAt;
+    }
+
+    /** Should attempt @p attempt (0-based) of a job fail transiently? */
+    bool
+    transientFailureNow(unsigned attempt) const
+    {
+        return plan_.transientOnce && attempt == 0;
+    }
+
+  private:
+    HarnessFaultPlan plan_;
+    std::atomic<unsigned> childSpawns_{0};
+    std::atomic<unsigned> journalWrites_{0};
+    std::atomic<unsigned> journalAppends_{0};
+};
+
+/**
+ * The process-wide injector configured by CBSIM_HARNESS_FAULTS, or
+ * nullptr when the variable is unset/empty (the production case: one
+ * branch per site). A malformed spec is a user error: fatal().
+ */
+HarnessFaultInjector* harnessFaults();
+
+/**
+ * Test seam: replace the process-wide injector (pass nullptr to turn
+ * all harness faults off). Unit tests use this instead of mutating the
+ * environment, which harnessFaults() reads only once.
+ */
+void setHarnessFaultsForTest(std::unique_ptr<HarnessFaultInjector> injector);
+
+} // namespace cbsim
+
+#endif // CBSIM_HARNESS_HARNESS_FAULTS_HH

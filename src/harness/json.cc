@@ -189,6 +189,23 @@ JsonWriter::value(const std::string& v)
 }
 
 void
+JsonWriter::rawValue(const std::string& block)
+{
+    beforeValue();
+    // beforeValue() has already positioned the first line (comma +
+    // indent inside arrays); continuation lines carry their root-depth
+    // relative indentation and only need the current depth prepended.
+    std::string pad;
+    for (std::size_t i = 1; i < stack_.size(); ++i)
+        pad += "  ";
+    for (const char c : block) {
+        os_ << c;
+        if (c == '\n')
+            os_ << pad;
+    }
+}
+
+void
 JsonWriter::null()
 {
     beforeValue();

@@ -62,6 +62,16 @@ class JsonWriter
         value(v);
     }
 
+    /**
+     * Splice @p block — a complete JSON value serialized standalone at
+     * root depth by another JsonWriter — as the next value, re-indenting
+     * its continuation lines to this writer's current depth. This is the
+     * byte-identity primitive of the crash-safe sweep layer: a run row
+     * journaled by one process and replayed by another goes through the
+     * exact same bytes as a freshly serialized one (result_codec.hh).
+     */
+    void rawValue(const std::string& block);
+
     /** Escape @p s as a JSON string literal (with quotes). */
     static std::string quote(const std::string& s);
 

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Serialization shared by the crash-safe sweep layer (docs/RESULTS.md,
+ * docs/ROBUSTNESS.md §Crash-safe sweeps).
+ *
+ * Three consumers need the same bytes:
+ *  - the ResultSink, which serializes every run of a sweep into the
+ *    versioned JSON artifact;
+ *  - the ResultJournal, which appends each completed run's row so an
+ *    interrupted sweep can be resumed without re-running it;
+ *  - the --isolate subprocess pipe, over which a forked child streams
+ *    its ExperimentResult back to the parent.
+ *
+ * The determinism contract hinges on one property: serializing a run
+ * row is a pure function of (job config, outcome), and parsing a
+ * serialized ExperimentResult back and re-serializing it reproduces the
+ * identical bytes (integers verbatim via their raw token text, doubles
+ * via JsonWriter::number's shortest-round-trip form). That is what
+ * makes resumed and isolated sweeps byte-identical to plain ones.
+ */
+
+#ifndef CBSIM_HARNESS_RESULT_CODEC_HH
+#define CBSIM_HARNESS_RESULT_CODEC_HH
+
+#include <string>
+
+#include "harness/sweep.hh"
+
+namespace cbsim {
+
+class JsonWriter;
+class JsonValue;
+
+/** Serialize @p job's declarative configuration as a "config" member. */
+void writeJobConfig(JsonWriter& w, const SweepJob& job);
+
+/** Serialize metrics + sync[] (+ epochs/contention when present). */
+void writeRunMetrics(JsonWriter& w, const RunResult& r);
+
+/** Serialize the energy breakdown as an "energy_nj" member. */
+void writeEnergy(JsonWriter& w, const EnergyBreakdown& e);
+
+/**
+ * One complete artifact row for (job, outcome): the object the
+ * ResultSink splices into the "runs" array, serialized standalone at
+ * root depth (2-space inner indentation, re-indented on splice).
+ */
+std::string serializeRunRow(const SweepJob& job, const JobOutcome& outcome);
+
+/**
+ * Content hash identifying one sweep cell for the journal: FNV-1a 64
+ * over the serialized job config, the artifact schema version, and the
+ * sweep-level sizing annotations in @p sweep_meta (so a --smoke
+ * journal can never satisfy a full-size sweep even when cell keys
+ * match). Hex string, pure function of its inputs.
+ */
+std::string jobConfigHash(const SweepJob& job, unsigned schema_version,
+                          const std::string& sweep_meta);
+
+/**
+ * Child→parent payload for one isolated job: status, error, and the
+ * full ExperimentResult (raw RunResult fields, sync kinds, epochs,
+ * contention, energy — everything the sink and the table printers
+ * read).
+ */
+std::string serializeChildPayload(const JobOutcome& outcome);
+
+/**
+ * Parse a child payload back into @p outcome.
+ * @return false (outcome untouched) when @p text is not a payload
+ */
+bool parseChildPayload(const std::string& text, JobOutcome& outcome);
+
+/**
+ * Best-effort reconstruction of an ExperimentResult from a serialized
+ * artifact row (the journal replay path — feeds the bench table
+ * printers; the artifact itself splices the journaled row verbatim).
+ */
+ExperimentResult parseRowResult(const JsonValue& row);
+
+/** Inverse of jobStatusName(); Failed for unknown names. */
+JobStatus jobStatusFromName(const std::string& name);
+
+} // namespace cbsim
+
+#endif // CBSIM_HARNESS_RESULT_CODEC_HH

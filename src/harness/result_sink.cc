@@ -5,131 +5,10 @@
 #include <sstream>
 
 #include "harness/json.hh"
+#include "harness/result_codec.hh"
 #include "sim/log.hh"
 
 namespace cbsim {
-
-namespace {
-
-void
-writeConfig(JsonWriter& w, const SweepJob& job)
-{
-    w.key("config");
-    w.beginObject();
-    w.field("kind", jobKindName(job.kind));
-    switch (job.kind) {
-      case JobKind::Profile:
-        w.field("workload", job.profile.name);
-        w.field("suite", job.profile.suite);
-        w.field("technique", techniqueName(job.technique));
-        w.field("cores", job.cores);
-        w.field("lock", lockAlgoName(job.choice.lock));
-        w.field("barrier", barrierAlgoName(job.choice.barrier));
-        w.field("cb_entries_per_bank", job.cbEntriesPerBank);
-        break;
-      case JobKind::Micro:
-        w.field("workload", syncMicroName(job.micro));
-        w.field("technique", techniqueName(job.technique));
-        w.field("cores", job.cores);
-        w.field("iterations", job.iterations);
-        w.field("work_between", job.workBetween);
-        w.field("cb_entries_per_bank", job.cbEntriesPerBank);
-        break;
-      case JobKind::Custom:
-        // A custom job's configuration lives in its function; only the
-        // key identifies it.
-        break;
-    }
-    w.endObject();
-}
-
-void
-writeMetrics(JsonWriter& w, const RunResult& r)
-{
-    w.key("metrics");
-    w.beginObject();
-    for (const auto& [name, value] : r.scalarFields())
-        w.field(name, value);
-    w.endObject();
-
-    w.key("sync");
-    w.beginArray();
-    // Kind 0 is SyncKind::None (never recorded); start at 1.
-    for (std::size_t k = 1; k < SyncStats::numKinds; ++k) {
-        const SyncKindResult& s = r.sync[k];
-        w.beginObject();
-        w.field("kind", syncKindName(static_cast<SyncKind>(k)));
-        w.field("completions", s.completions);
-        w.field("total_latency", s.totalLatency);
-        w.field("mean_latency", s.meanLatency);
-        w.field("max_latency", s.maxLatency);
-        w.field("p50_latency", s.p50Latency);
-        w.field("p95_latency", s.p95Latency);
-        w.field("p99_latency", s.p99Latency);
-        w.endObject();
-    }
-    w.endArray();
-
-    // Present only when epoch sampling ran (CBSIM_OBS_EPOCH / ObsConfig)
-    // — artifacts from plain runs stay byte-identical to obs-off runs.
-    if (!r.epochs.empty()) {
-        w.key("epochs");
-        w.beginArray();
-        for (const EpochRow& row : r.epochs) {
-            w.beginObject();
-            w.field(EpochSampler::kFieldNames[0], row.tick);
-            w.field(EpochSampler::kFieldNames[1], row.llcAccesses);
-            w.field(EpochSampler::kFieldNames[2], row.flitHops);
-            w.field(EpochSampler::kFieldNames[3], row.packets);
-            w.field(EpochSampler::kFieldNames[4], row.blockedCores);
-            w.endObject();
-        }
-        w.endArray();
-    }
-
-    // Present only when contention attribution ran (CBSIM_OBS_ATTR /
-    // ObsConfig::attribution). Field names come from kContentionFields
-    // so docs/RESULTS.md and scripts/check_docs.sh stay in lock-step.
-    if (!r.contention.empty()) {
-        w.key("contention");
-        w.beginArray();
-        for (const ContentionRow& row : r.contention) {
-            w.beginObject();
-            w.field(kContentionFields[0], contentionHexName(row.addr));
-            w.field(kContentionFields[1], row.symbol);
-            w.field(kContentionFields[2], row.cycles);
-            w.field(kContentionFields[3], row.invalidations);
-            w.field(kContentionFields[4], row.reacquires);
-            w.field(kContentionFields[5], row.spinRereads);
-            w.field(kContentionFields[6], row.backoffIters);
-            w.field(kContentionFields[7], row.parks);
-            w.field(kContentionFields[8], row.wakes);
-            w.field(kContentionFields[9], row.wakeEvictions);
-            w.field(kContentionFields[10], row.parkP50);
-            w.field(kContentionFields[11], row.parkP95);
-            w.field(kContentionFields[12], row.parkP99);
-            w.endObject();
-        }
-        w.endArray();
-    }
-}
-
-void
-writeEnergy(JsonWriter& w, const EnergyBreakdown& e)
-{
-    w.key("energy_nj");
-    w.beginObject();
-    w.field("l1", e.l1);
-    w.field("llc", e.llc);
-    w.field("network", e.network);
-    w.field("cbdir", e.cbdir);
-    w.field("memory", e.memory);
-    w.field("on_chip", e.onChip());
-    w.field("total", e.total());
-    w.endObject();
-}
-
-} // namespace
 
 ResultSink::ResultSink(std::string bench_name)
     : benchName_(std::move(bench_name))
@@ -152,6 +31,19 @@ ResultSink::add(const SweepJob& job, const JobOutcome& outcome)
     // The workload build is only needed for in-process invariant checks;
     // dropping it keeps long sweeps from retaining every program.
     e.outcome.result.workload = WorkloadBuild();
+    entries_.push_back(std::move(e));
+}
+
+void
+ResultSink::addReplayed(const SweepJob& job, std::string raw_row,
+                        const JobOutcome& outcome)
+{
+    Entry e;
+    e.job = job;
+    e.job.fn = nullptr;
+    e.outcome = outcome;
+    e.outcome.result.workload = WorkloadBuild();
+    e.rawRow = std::move(raw_row);
     entries_.push_back(std::move(e));
 }
 
@@ -181,19 +73,15 @@ ResultSink::write(std::ostream& os) const
 
     w.key("runs");
     w.beginArray();
+    // One serialization path for fresh and replayed rows alike
+    // (result_codec.hh): every row is a standalone root-depth string
+    // spliced in via rawValue(), so a journal-replayed artifact cannot
+    // diverge from a freshly produced one by even a byte.
     for (const auto& e : entries_) {
-        w.beginObject();
-        w.field("key", e.job.key);
-        writeConfig(w, e.job);
-        w.field("ok", e.outcome.ok);
-        w.field("status", jobStatusName(e.outcome.status));
-        if (e.outcome.ok) {
-            writeMetrics(w, e.outcome.result.run);
-            writeEnergy(w, e.outcome.result.energy);
-        } else {
-            w.field("error", e.outcome.error);
-        }
-        w.endObject();
+        if (!e.rawRow.empty())
+            w.rawValue(e.rawRow);
+        else
+            w.rawValue(serializeRunRow(e.job, e.outcome));
     }
     w.endArray();
     w.endObject();
@@ -215,12 +103,21 @@ ResultSink::writeFile(const std::string& path) const
     std::error_code ec;
     if (p.has_parent_path())
         std::filesystem::create_directories(p.parent_path(), ec);
-    std::ofstream os(p);
-    if (!os)
-        fatal("cannot open result file for writing: ", path);
-    write(os);
-    if (!os)
-        fatal("write failed: ", path);
+    // Temp file + rename in the same directory: rename(2) is atomic, so
+    // a crash mid-publish can never leave a torn artifact behind.
+    const std::filesystem::path tmp(path + ".tmp");
+    {
+        std::ofstream os(tmp);
+        if (!os)
+            fatal("cannot open result file for writing: ", tmp.string());
+        write(os);
+        os.flush();
+        if (!os)
+            fatal("write failed: ", tmp.string());
+    }
+    std::filesystem::rename(tmp, p, ec);
+    if (ec)
+        fatal("cannot publish result file ", path, ": ", ec.message());
 }
 
 } // namespace cbsim

@@ -38,8 +38,12 @@ class ResultSink
      * v4: the optional per-run "contention" array — top contended
      *     lines with per-technique attribution columns and symbolic
      *     names (docs/OBSERVABILITY.md §Attribution).
+     * v5: crash-safe sweeps (docs/ROBUSTNESS.md §Crash-safe sweeps) —
+     *     per-run "attempts" count and "quarantined" flag, and the
+     *     "crashed" status for --isolate children that died without
+     *     delivering a result.
      */
-    static constexpr unsigned kSchemaVersion = 4;
+    static constexpr unsigned kSchemaVersion = 5;
 
     explicit ResultSink(std::string bench_name);
 
@@ -49,6 +53,16 @@ class ResultSink
     /** Record one finished job, in submission order. */
     void add(const SweepJob& job, const JobOutcome& outcome);
 
+    /**
+     * Record one journal-replayed job (`--resume`): @p raw_row is the
+     * verbatim serialized row loaded from the journal and is spliced
+     * into the artifact byte-for-byte; @p outcome is the best-effort
+     * reconstruction (result_codec.hh) feeding allOk() and the bench
+     * table printers.
+     */
+    void addReplayed(const SweepJob& job, std::string raw_row,
+                     const JobOutcome& outcome);
+
     std::size_t size() const { return entries_.size(); }
     bool allOk() const;
 
@@ -56,8 +70,11 @@ class ResultSink
     std::string toJson() const;
 
     /**
-     * Write to @p path, creating parent directories as needed.
-     * Fatal on I/O failure.
+     * Write to @p path atomically: serialize to `<path>.tmp` in the
+     * same directory, then rename(2) over the target — a sweep killed
+     * mid-publish leaves either the old artifact or the new one, never
+     * a torn file. Creates parent directories as needed. Fatal on I/O
+     * failure.
      */
     void writeFile(const std::string& path) const;
 
@@ -66,6 +83,7 @@ class ResultSink
     {
         SweepJob job; ///< fn stripped; config only
         JobOutcome outcome;
+        std::string rawRow; ///< non-empty: replayed, splice verbatim
     };
 
     std::string benchName_;

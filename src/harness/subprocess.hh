@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Process isolation for sweep jobs (docs/ROBUSTNESS.md §Crash-safe
+ * sweeps).
+ *
+ * Under `--isolate`, each SweepJob runs in a forked child that streams
+ * its serialized ExperimentResult (result_codec.hh child payload) back
+ * over a pipe and then _exit()s. Anything that would have taken the
+ * whole sweep down — a segfault, an OOM kill, an abort() from a
+ * corrupted invariant — now takes down one child, and the parent
+ * classifies the loss as the `crashed` JobStatus while sibling cells
+ * keep running. Failures the child can catch (fatal(), panic(),
+ * watchdog TimeoutError) are classified *in the child* and travel back
+ * in the payload, so an isolated sweep reports byte-identical rows to
+ * an inline one.
+ *
+ * Forensic dumps need no special plumbing: the child shares the
+ * filesystem, so a chip crash writes
+ * `<forensicDir>/<label>.forensic.json` exactly as an inline job would
+ * (src/debug/forensics.hh), and quarantine picks the file up from
+ * there.
+ */
+
+#ifndef CBSIM_HARNESS_SUBPROCESS_HH
+#define CBSIM_HARNESS_SUBPROCESS_HH
+
+#include "debug/debug_config.hh"
+#include "harness/sweep.hh"
+
+namespace cbsim {
+
+/**
+ * Run @p job to completion in a forked child.
+ *
+ * @param job the sweep cell to execute
+ * @param dcfg debug configuration the child installs as a DebugScope
+ *        around the run (label = job key, per-job wall budget), exactly
+ *        mirroring the inline execution path
+ * @param hard_timeout_s parent-side backstop: if the child is still
+ *        alive after this many seconds it is SIGKILLed and the cell is
+ *        classified TimedOut (covers a child too wedged for the
+ *        cooperative watchdog to fire). 0 disables the backstop.
+ * @param kill_child chaos hook (`kill-child` fault site): the child
+ *        SIGKILLs itself before running the job, simulating a hard
+ *        crash. Decided in the parent so the fault counter lives in
+ *        exactly one process.
+ * @return the cell's outcome; `status == JobStatus::Crashed` when the
+ *         child died without delivering a payload
+ */
+JobOutcome runJobIsolated(const SweepJob& job, const DebugConfig& dcfg,
+                          double hard_timeout_s, bool kill_child);
+
+} // namespace cbsim
+
+#endif // CBSIM_HARNESS_SUBPROCESS_HH

@@ -83,6 +83,7 @@ enum class JobStatus : std::uint8_t
     Failed,   ///< threw (fatal/panic/invariant violation); error set
     TimedOut, ///< tripped the per-job wall-clock budget (failed row)
     Skipped,  ///< never ran: the sweep's failure budget was exhausted
+    Crashed,  ///< --isolate child died without delivering a payload
 };
 
 const char* jobStatusName(JobStatus s);
@@ -95,6 +96,15 @@ struct JobOutcome
     std::string error;       ///< failure message when !ok
     ExperimentResult result; ///< default-initialized when !ok
     double wallMs = 0.0;     ///< host wall-clock (never serialized)
+
+    /** Execution attempts made (1 without --retries; 0 for skipped and
+     * for journal-replayed cells, which carry their producing run's
+     * count in the replayed row instead). */
+    unsigned attempts = 0;
+
+    /** Cell failed every attempt and a repro bundle was written under
+     * the quarantine directory (docs/ROBUSTNESS.md). */
+    bool quarantined = false;
 };
 
 /**
@@ -116,12 +126,50 @@ class SweepRunner
     void setJobTimeoutS(double s) { jobTimeoutS_ = s; }
 
     /**
-     * Stop claiming new jobs once this many have failed (0 = never,
-     * the default). Jobs never started are recorded as Skipped rows;
-     * which jobs those are depends on scheduling, so artifacts of an
-     * aborted sweep are not byte-reproducible (docs/RESULTS.md).
+     * Stop running jobs once this many have failed (0 = never, the
+     * default). The set of cells reported Skipped is deterministic: it
+     * depends only on submission order — walk the job list in order,
+     * counting final failures; every job at or past the point where
+     * the count reaches the budget is Skipped. Workers apply a
+     * conservative claim-time check (provably a subset of that set) to
+     * avoid wasted work, and a post-run reclassification pass makes the
+     * reported outcomes exactly match the sequential definition, so
+     * `--jobs 1` and `--jobs N` artifacts stay byte-identical even for
+     * aborted sweeps (asserted in sweep_runner_test).
      */
     void setMaxFailures(unsigned n) { maxFailures_ = n; }
+
+    /**
+     * Run every job in a forked child (`--isolate`): crashes are
+     * classified as Crashed rows instead of killing the sweep.
+     */
+    void setIsolate(bool on) { isolate_ = on; }
+
+    /**
+     * Re-run failed/timed-out/crashed cells up to @p n extra times
+     * (`--retries N`), with a bounded deterministic backoff between
+     * attempts. The final attempt's outcome is the row; `attempts`
+     * records how many were made.
+     */
+    void setRetries(unsigned n) { retries_ = n; }
+
+    /**
+     * Quarantine cells that fail every attempt: write a self-contained
+     * repro bundle under `<dir>/<sanitized key>/` (job config JSON,
+     * forensic dump when one was written, one-line re-run command) and
+     * mark the row `quarantined`. Off when @p dir is empty.
+     */
+    void setQuarantineDir(std::string dir) { quarantineDir_ = std::move(dir); }
+
+    /**
+     * Command prefix for the quarantine bundle's re-run line, e.g.
+     * "./build/bench/bench_all --smoke --cores 16"; the runner appends
+     * `--only-key '<key>'`.
+     */
+    void setRerunPrefix(std::string prefix)
+    {
+        rerunPrefix_ = std::move(prefix);
+    }
 
     /** Append a job; returns its submission index. */
     std::size_t add(SweepJob job);
@@ -141,9 +189,17 @@ class SweepRunner
             {});
 
   private:
+    JobOutcome runAttempts(std::size_t i);
+    void reclassifyForBudget(std::vector<JobOutcome>& outcomes) const;
+    void quarantine(const SweepJob& job, JobOutcome& out) const;
+
     unsigned workers_;
     double jobTimeoutS_ = 0.0;
     unsigned maxFailures_ = 0;
+    bool isolate_ = false;
+    unsigned retries_ = 0;
+    std::string quarantineDir_;
+    std::string rerunPrefix_;
     std::vector<SweepJob> jobs_;
 };
 

@@ -66,6 +66,25 @@ renderFigureTables(const JsonValue& doc, std::ostream& os)
        << u64Str(doc.getNumber("schema_version")) << ", "
        << doc.get("runs").items().size() << " runs)\n";
 
+    // A partial artifact (crashed/failed/timed-out/skipped or
+    // quarantined cells — e.g. published by a sweep that exhausted its
+    // retries) must not be mistaken for a complete regeneration.
+    std::size_t not_ok = 0;
+    std::size_t quarantined = 0;
+    for (const JsonValue& run : doc.get("runs").items()) {
+        if (!run.get("ok").boolean())
+            ++not_ok;
+        if (run.get("quarantined").boolean())
+            ++quarantined;
+    }
+    if (not_ok != 0) {
+        os << "WARNING: partial artifact: " << not_ok << " of "
+           << doc.get("runs").items().size() << " runs not ok";
+        if (quarantined != 0)
+            os << " (" << quarantined << " quarantined)";
+        os << "\n";
+    }
+
     // Pass 1: collect the pivot axes in first-seen order.
     std::vector<std::string> techniques;
     std::vector<std::string> rows;
@@ -220,14 +239,25 @@ diffArtifacts(const JsonValue& old_doc, const JsonValue& new_doc,
         const JsonValue& newRun = *it->second;
         const bool oldOk = oldRun.get("ok").boolean();
         const bool newOk = newRun.get("ok").boolean();
+        // A quarantined cell failed every retry attempt — that is a
+        // reproducible failure, never noise, whatever the baseline
+        // said about the cell.
+        const bool newQuarantined =
+            newRun.get("quarantined").boolean();
         if (oldOk && !newOk) {
-            d.regressions.push_back(key + ": was ok, now " +
-                                    newRun.getString("status"));
+            d.regressions.push_back(
+                key + ": was ok, now " + newRun.getString("status") +
+                (newQuarantined ? " (quarantined)" : ""));
             continue;
         }
         if (!oldOk) {
             if (newOk)
                 d.notes.push_back(key + ": was failing, now ok");
+            else if (newQuarantined)
+                d.regressions.push_back(
+                    key + ": quarantined (" +
+                    newRun.getString("status") +
+                    " after exhausting retries)");
             continue;
         }
 
@@ -275,7 +305,11 @@ usage(std::ostream& err)
            "or diff\n"
            "two artifacts and fail (exit 1) on cost-metric regressions "
            "beyond\n"
-           "the threshold (default 0.02 = 2%).\n";
+           "the threshold (default 0.02 = 2%). Partial artifacts "
+           "(failed,\n"
+           "crashed, or quarantined cells) are flagged when rendered; "
+           "--diff\n"
+           "treats quarantined cells as regressions, not noise.\n";
     return 2;
 }
 

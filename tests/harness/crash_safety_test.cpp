@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Tests for the crash-safe sweep layer (docs/ROBUSTNESS.md §Crash-safe
+ * sweeps): process isolation, the result codec's byte-exact round
+ * trip, the append-only journal, retry with quarantine, and the
+ * harness chaos faults that provoke each recovery path on purpose.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "harness/harness_faults.hh"
+#include "harness/journal.hh"
+#include "harness/result_codec.hh"
+#include "harness/result_sink.hh"
+#include "harness/subprocess.hh"
+#include "harness/sweep.hh"
+#include "report/json_value.hh"
+#include "sim/log.hh"
+
+namespace cbsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+SweepJob
+tinyMicro(const std::string& key, SyncMicro m, Technique t)
+{
+    return SweepJob::forMicro(key, m, t, 4, 2, 500);
+}
+
+/** RAII: harness faults installed for one test, cleared after. */
+struct ScopedHarnessFaults
+{
+    explicit ScopedHarnessFaults(const HarnessFaultPlan& plan)
+    {
+        setHarnessFaultsForTest(
+            std::make_unique<HarnessFaultInjector>(plan));
+    }
+    ~ScopedHarnessFaults() { setHarnessFaultsForTest(nullptr); }
+};
+
+/** Fresh scratch directory under the test's working dir. */
+fs::path
+scratchDir(const std::string& name)
+{
+    const fs::path dir = fs::path("crash_safety_scratch") / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+TEST(ResultCodec, ChildPayloadRoundTripsToIdenticalRow)
+{
+    // The byte-identity hinge: a result that crossed the --isolate
+    // pipe must serialize to the exact same artifact row as the
+    // in-process original.
+    SweepRunner runner(1);
+    runner.add(tinyMicro("codec/cell", SyncMicro::ClhLock,
+                         Technique::CbOne));
+    const auto outcomes = runner.run();
+    ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+
+    const std::string payload = serializeChildPayload(outcomes[0]);
+    JobOutcome parsed;
+    ASSERT_TRUE(parseChildPayload(payload, parsed));
+    parsed.attempts = outcomes[0].attempts;
+
+    EXPECT_EQ(serializeRunRow(runner.job(0), outcomes[0]),
+              serializeRunRow(runner.job(0), parsed));
+    // And the payload itself is a fixed point of the codec.
+    EXPECT_EQ(serializeChildPayload(parsed), payload);
+}
+
+TEST(ResultCodec, JobConfigHashSeparatesConfigsAndSweeps)
+{
+    const SweepJob a = tinyMicro("cell", SyncMicro::ClhLock,
+                                 Technique::CbOne);
+    const SweepJob b = tinyMicro("cell", SyncMicro::ClhLock,
+                                 Technique::CbAll);
+    EXPECT_NE(jobConfigHash(a, 5, "cores=4"), jobConfigHash(b, 5, "cores=4"));
+    // Same cell, different schema or sweep sizing: a journal from one
+    // must never satisfy the other.
+    EXPECT_NE(jobConfigHash(a, 5, "cores=4"), jobConfigHash(a, 4, "cores=4"));
+    EXPECT_NE(jobConfigHash(a, 5, "cores=4"),
+              jobConfigHash(a, 5, "cores=64"));
+    EXPECT_EQ(jobConfigHash(a, 5, "cores=4"), jobConfigHash(a, 5, "cores=4"));
+}
+
+TEST(Isolation, IsolatedSweepMatchesInlineByteForByte)
+{
+    const auto sweep = [](bool isolate) {
+        SweepRunner runner(2);
+        runner.setIsolate(isolate);
+        runner.add(tinyMicro("iso/a", SyncMicro::TtasLock,
+                             Technique::Invalidation));
+        runner.add(tinyMicro("iso/b", SyncMicro::ClhLock,
+                             Technique::CbOne));
+        runner.add(tinyMicro("iso/c", SyncMicro::TreeBarrier,
+                             Technique::CbAll));
+        const auto outcomes = runner.run();
+        ResultSink sink("isolation_test");
+        for (std::size_t i = 0; i < outcomes.size(); ++i)
+            sink.add(runner.job(i), outcomes[i]);
+        return sink.toJson();
+    };
+    const std::string inline_json = sweep(false);
+    const std::string isolated_json = sweep(true);
+    EXPECT_GT(inline_json.size(), 0u);
+    EXPECT_EQ(inline_json, isolated_json);
+}
+
+TEST(Isolation, CrashingCellBecomesACrashedRowWithoutKillingSiblings)
+{
+    SweepRunner runner(1);
+    runner.setIsolate(true);
+    runner.add(tinyMicro("ok-before", SyncMicro::ClhLock,
+                         Technique::CbOne));
+    runner.add(SweepJob::custom("hard-crash", [] {
+        std::raise(SIGKILL); // stands in for a segfault / OOM kill
+        return ExperimentResult();
+    }));
+    runner.add(tinyMicro("ok-after", SyncMicro::TreeBarrier,
+                         Technique::Invalidation));
+
+    const auto outcomes = runner.run();
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    EXPECT_FALSE(outcomes[1].ok);
+    EXPECT_EQ(outcomes[1].status, JobStatus::Crashed);
+    EXPECT_NE(outcomes[1].error.find("SIGKILL"), std::string::npos)
+        << outcomes[1].error;
+    EXPECT_NE(outcomes[1].error.find("hard-crash"), std::string::npos)
+        << outcomes[1].error;
+    EXPECT_TRUE(outcomes[2].ok) << outcomes[2].error;
+
+    ResultSink sink("crash_test");
+    for (std::size_t i = 0; i < outcomes.size(); ++i)
+        sink.add(runner.job(i), outcomes[i]);
+    EXPECT_NE(sink.toJson().find("\"status\": \"crashed\""),
+              std::string::npos);
+}
+
+TEST(Isolation, ChildFatalIsClassifiedInTheChild)
+{
+    // A failure the child can catch (fatal()) must come back as a
+    // plain failed row — identical to what the inline path reports.
+    SweepJob bad = SweepJob::custom("iso-fatal", []() -> ExperimentResult {
+        fatal("deliberate failure inside the child");
+    });
+    SweepRunner runner(1);
+    runner.setIsolate(true);
+    runner.add(bad);
+    const auto outcomes = runner.run();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Failed);
+    EXPECT_NE(outcomes[0].error.find("deliberate failure"),
+              std::string::npos)
+        << outcomes[0].error;
+}
+
+TEST(Isolation, WedgedChildTripsTheParentSideBackstop)
+{
+    // A child that stops polling its watchdog entirely: the parent's
+    // hard backstop must SIGKILL it and report a timeout row.
+    SweepJob wedged = SweepJob::custom("iso-wedged", [] {
+        std::this_thread::sleep_for(std::chrono::seconds(30));
+        return ExperimentResult();
+    });
+    const JobOutcome out =
+        runJobIsolated(wedged, DebugConfig::current(), 0.2, false);
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.status, JobStatus::TimedOut);
+    EXPECT_NE(out.error.find("hard timeout"), std::string::npos)
+        << out.error;
+    EXPECT_NE(out.error.find("iso-wedged"), std::string::npos);
+}
+
+TEST(ResultSink, WriteFilePublishesAtomicallyAndLeavesNoTemp)
+{
+    const fs::path dir = scratchDir("sink");
+    const std::string path = (dir / "nested" / "out.json").string();
+
+    SweepRunner runner(1);
+    runner.add(tinyMicro("sink/cell", SyncMicro::TtasLock,
+                         Technique::CbOne));
+    const auto outcomes = runner.run();
+    ASSERT_TRUE(outcomes[0].ok);
+
+    ResultSink sink("writefile_test");
+    sink.add(runner.job(0), outcomes[0]);
+    sink.writeFile(path);
+
+    std::ifstream is(path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    EXPECT_EQ(buf.str(), sink.toJson());
+    EXPECT_FALSE(fs::exists(path + ".tmp")); // renamed, not copied
+
+    // Re-publish over the existing artifact: still atomic, same bytes.
+    sink.writeFile(path);
+    std::ifstream is2(path);
+    std::ostringstream buf2;
+    buf2 << is2.rdbuf();
+    EXPECT_EQ(buf2.str(), sink.toJson());
+    fs::remove_all("crash_safety_scratch");
+}
+
+TEST(Chaos, KillChildFaultCrashesExactlyTheNthCell)
+{
+    HarnessFaultPlan plan;
+    plan.killChildAt = 2;
+    ScopedHarnessFaults faults(plan);
+
+    SweepRunner runner(1);
+    runner.setIsolate(true);
+    runner.add(tinyMicro("chaos/a", SyncMicro::TtasLock,
+                         Technique::CbOne));
+    runner.add(tinyMicro("chaos/b", SyncMicro::ClhLock,
+                         Technique::CbAll));
+    runner.add(tinyMicro("chaos/c", SyncMicro::SrBarrier,
+                         Technique::Invalidation));
+    const auto outcomes = runner.run();
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_TRUE(outcomes[0].ok);
+    EXPECT_EQ(outcomes[1].status, JobStatus::Crashed);
+    EXPECT_TRUE(outcomes[2].ok);
+}
+
+TEST(Retry, TransientFailureIsHealedByOneRetry)
+{
+    HarnessFaultPlan plan;
+    plan.transientOnce = true;
+    ScopedHarnessFaults faults(plan);
+
+    SweepRunner runner(1);
+    runner.setRetries(1);
+    runner.add(tinyMicro("retry/cell", SyncMicro::ClhLock,
+                         Technique::CbOne));
+    const auto outcomes = runner.run();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    EXPECT_EQ(outcomes[0].attempts, 2u);
+}
+
+TEST(Retry, WithoutRetriesTheTransientFailureSticks)
+{
+    HarnessFaultPlan plan;
+    plan.transientOnce = true;
+    ScopedHarnessFaults faults(plan);
+
+    SweepRunner runner(1);
+    runner.add(tinyMicro("retry/none", SyncMicro::ClhLock,
+                         Technique::CbOne));
+    const auto outcomes = runner.run();
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_EQ(outcomes[0].attempts, 1u);
+    EXPECT_NE(outcomes[0].error.find("transient"), std::string::npos);
+}
+
+TEST(Retry, ExhaustedRetriesQuarantineTheCell)
+{
+    const fs::path qdir = scratchDir("quarantine");
+    SweepJob bad = SweepJob::custom("quar/always-fails",
+                                    []() -> ExperimentResult {
+                                        fatal("fails every attempt");
+                                    });
+    SweepRunner runner(1);
+    runner.setRetries(1);
+    runner.setQuarantineDir(qdir.string());
+    runner.setRerunPrefix("./build/bench/bench_all --smoke");
+    runner.add(bad);
+    runner.add(tinyMicro("quar/fine", SyncMicro::TtasLock,
+                         Technique::CbOne));
+    const auto outcomes = runner.run();
+
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_EQ(outcomes[0].attempts, 2u);
+    EXPECT_TRUE(outcomes[0].quarantined);
+    EXPECT_TRUE(outcomes[1].ok);
+    EXPECT_FALSE(outcomes[1].quarantined);
+
+    // The bundle is self-contained: config, and the exact re-run line.
+    // (The directory name is the sanitized key plus a hash suffix —
+    // forensics::sanitizeLabel — so locate it by scanning.)
+    fs::path bundle;
+    for (const auto& entry : fs::directory_iterator(qdir))
+        if (entry.is_directory())
+            bundle = entry.path();
+    ASSERT_FALSE(bundle.empty());
+    EXPECT_NE(bundle.filename().string().find("quar_always-fails"),
+              std::string::npos);
+    EXPECT_TRUE(fs::exists(bundle / "job.json"));
+    EXPECT_TRUE(fs::exists(bundle / "rerun.txt"));
+    std::ifstream rerun(bundle / "rerun.txt");
+    std::string line;
+    std::getline(rerun, line);
+    EXPECT_NE(line.find("--only-key 'quar/always-fails'"),
+              std::string::npos)
+        << line;
+    std::string jerr;
+    const JsonValue job_doc =
+        JsonValue::parseFile((bundle / "job.json").string(), jerr);
+    EXPECT_TRUE(jerr.empty()) << jerr;
+    EXPECT_EQ(job_doc.getString("key"), "quar/always-fails");
+    EXPECT_EQ(job_doc.getString("status"), "failed");
+
+    // The artifact row advertises the quarantine.
+    ResultSink sink("quarantine_test");
+    for (std::size_t i = 0; i < outcomes.size(); ++i)
+        sink.add(runner.job(i), outcomes[i]);
+    EXPECT_NE(sink.toJson().find("\"quarantined\": true"),
+              std::string::npos);
+    fs::remove_all("crash_safety_scratch");
+}
+
+TEST(Journal, AppendLoadRoundTripAndTornTailTolerance)
+{
+    const fs::path dir = scratchDir("journal");
+    const std::string path = (dir / "mod.json.journal").string();
+    {
+        ResultJournal journal(path);
+        EXPECT_TRUE(journal.append("00aa", "{\n  \"key\": \"a\"\n}"));
+        EXPECT_TRUE(journal.append("00bb", "{\n  \"key\": \"b\"\n}"));
+        EXPECT_FALSE(journal.degraded());
+    }
+    // Simulate the line being written at SIGKILL time: a torn tail.
+    {
+        std::ofstream os(path, std::ios::app);
+        os << "{\"cell\": \"00cc\", \"row\": \"{\\n  \"tr";
+    }
+    const auto entries = ResultJournal::load(path);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].cell, "00aa");
+    EXPECT_EQ(entries[0].row, "{\n  \"key\": \"a\"\n}");
+    EXPECT_EQ(entries[1].cell, "00bb");
+
+    ResultJournal::removeFile(path);
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_TRUE(ResultJournal::load(path).empty());
+    fs::remove_all("crash_safety_scratch");
+}
+
+TEST(Chaos, JournalEioFaultDegradesTheJournalNotTheSweep)
+{
+    HarnessFaultPlan plan;
+    plan.journalEioAt = 2;
+    ScopedHarnessFaults faults(plan);
+
+    const fs::path dir = scratchDir("journal_eio");
+    ResultJournal journal((dir / "mod.json.journal").string());
+    EXPECT_TRUE(journal.append("00aa", "{}"));
+    EXPECT_FALSE(journal.append("00bb", "{}")); // injected EIO
+    EXPECT_TRUE(journal.degraded());
+    EXPECT_FALSE(journal.append("00cc", "{}")); // stays degraded
+
+    // Only the first line survives — and load still reads it.
+    const auto entries = ResultJournal::load(journal.path());
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].cell, "00aa");
+    fs::remove_all("crash_safety_scratch");
+}
+
+TEST(Chaos, FaultPlanParserAcceptsSitesAndRejectsGarbage)
+{
+    std::string error;
+    HarnessFaultPlan plan = HarnessFaultPlan::parse(
+        "kill-child@3,journal-eio@1,sweep-kill@7,transient-once", error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(plan.killChildAt, 3u);
+    EXPECT_EQ(plan.journalEioAt, 1u);
+    EXPECT_EQ(plan.sweepKillAt, 7u);
+    EXPECT_TRUE(plan.transientOnce);
+
+    HarnessFaultPlan::parse("kill-child", error); // needs @N
+    EXPECT_FALSE(error.empty());
+    HarnessFaultPlan::parse("transient-once@2", error); // takes no @N
+    EXPECT_FALSE(error.empty());
+    HarnessFaultPlan::parse("kill-child@0", error); // 1-based
+    EXPECT_FALSE(error.empty());
+    HarnessFaultPlan::parse("made-up-site@1", error);
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(ResultSink, ReplayedRowIsSplicedVerbatim)
+{
+    // Two sinks over the same cell: one fresh, one replaying the
+    // fresh sink's serialized row — the artifacts must match exactly.
+    SweepRunner runner(1);
+    runner.add(tinyMicro("replay/cell", SyncMicro::TtasLock,
+                         Technique::CbOne));
+    const auto outcomes = runner.run();
+    ASSERT_TRUE(outcomes[0].ok);
+    const std::string row = serializeRunRow(runner.job(0), outcomes[0]);
+
+    ResultSink fresh("replay_test");
+    fresh.meta("cores", "4");
+    fresh.add(runner.job(0), outcomes[0]);
+
+    std::string parse_error;
+    const JsonValue row_doc = JsonValue::parse(row, parse_error);
+    ASSERT_TRUE(parse_error.empty()) << parse_error;
+    JobOutcome replayed;
+    replayed.ok = true;
+    replayed.status = JobStatus::Ok;
+    replayed.result = parseRowResult(row_doc);
+
+    ResultSink resumed("replay_test");
+    resumed.meta("cores", "4");
+    resumed.addReplayed(runner.job(0), row, replayed);
+
+    EXPECT_EQ(fresh.toJson(), resumed.toJson());
+    EXPECT_TRUE(resumed.allOk());
+}
+
+} // namespace
+} // namespace cbsim

@@ -174,7 +174,7 @@ TEST(ResultSink, EscapesAndStructuresJson)
     const std::string json = sink.toJson();
     EXPECT_NE(json.find("\"quote\\\"and\\\\slash\""), std::string::npos);
     EXPECT_NE(json.find("line1\\nline2\\ttab"), std::string::npos);
-    EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
     EXPECT_NE(json.find("a \\\"quoted\\\" value"), std::string::npos);
 }
 
@@ -225,6 +225,60 @@ TEST(SweepRunner, MaxFailuresStopsClaimingNewJobs)
         sink.add(runner.job(i), outcomes[i]);
     EXPECT_NE(sink.toJson().find("\"status\": \"skipped\""),
               std::string::npos);
+}
+
+/** Serialize a budget-tripped sweep executed on @p workers threads. */
+std::string
+abortedSweepJson(unsigned workers)
+{
+    SweepRunner runner(workers);
+    runner.setMaxFailures(2);
+    runner.add(SweepJob::custom("bad-1", runGuardViolation));
+    runner.add(tinyMicro("ok-1", SyncMicro::TtasLock, Technique::CbOne));
+    runner.add(SweepJob::custom("bad-2", runGuardViolation));
+    runner.add(tinyMicro("ok-2", SyncMicro::ClhLock,
+                         Technique::Invalidation));
+    runner.add(tinyMicro("ok-3", SyncMicro::TreeBarrier,
+                         Technique::CbAll));
+    runner.add(tinyMicro("ok-4", SyncMicro::SignalWait,
+                         Technique::BackOff10));
+    const auto outcomes = runner.run();
+
+    ResultSink sink("budget_determinism_test");
+    for (std::size_t i = 0; i < outcomes.size(); ++i)
+        sink.add(runner.job(i), outcomes[i]);
+    return sink.toJson();
+}
+
+TEST(SweepRunner, MaxFailuresSkipSetIsDeterministicAcrossWorkers)
+{
+    // The deterministic contract: which cells a budget-tripped sweep
+    // skips depends only on submission order. With the budget at 2,
+    // the walk reaches it at "bad-2" (index 2), so "ok-2".."ok-4" must
+    // be skipped — even when 4 workers raced ahead and actually ran
+    // them before the second failure completed.
+    const std::string serial = abortedSweepJson(1);
+    const std::string parallel = abortedSweepJson(4);
+    EXPECT_GT(serial.size(), 0u);
+    EXPECT_EQ(serial, parallel);
+    EXPECT_NE(serial.find("\"status\": \"skipped\""), std::string::npos);
+}
+
+TEST(SweepRunner, FailedRowErrorNamesItsCell)
+{
+    // In a grid of hundreds of cells, a failed row must be
+    // attributable from the artifact alone: the error text carries the
+    // sweep-job key (the watchdog label already embeds it for
+    // timeouts; plain failures get it prefixed).
+    SweepRunner runner(1);
+    runner.add(SweepJob::custom("grid/cell-under-test",
+                                runGuardViolation));
+    const auto outcomes = runner.run();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_NE(outcomes[0].error.find("grid/cell-under-test"),
+              std::string::npos)
+        << outcomes[0].error;
 }
 
 TEST(SweepRunner, JobTimeoutBecomesATimedOutRow)

@@ -148,6 +148,67 @@ TEST(Report, DiffFlagsRegressionsImprovementsAndFailures)
                     .ok());
 }
 
+/** A schema-v5 artifact whose CB-One run crashed and was quarantined. */
+JsonValue
+partialArtifact()
+{
+    std::string err;
+    JsonValue v = JsonValue::parse(R"({
+      "schema_version": 5, "generator": "cbsim", "bench": "t",
+      "meta": {},
+      "runs": [
+        {"key": "m/Invalidation",
+         "config": {"kind": "micro", "workload": "TTS",
+                    "technique": "Invalidation", "cores": 4},
+         "ok": true, "status": "ok", "attempts": 1,
+         "quarantined": false,
+         "metrics": {"cycles": 7016, "llc_sync_accesses": 33,
+                     "flit_hops": 478}},
+        {"key": "m/CB-One",
+         "config": {"kind": "micro", "workload": "TTS",
+                    "technique": "CB-One", "cores": 4},
+         "ok": false, "status": "crashed", "attempts": 2,
+         "quarantined": true,
+         "error": "job 'm/CB-One' crashed: killed by SIGKILL"}
+      ]})",
+                                   err);
+    EXPECT_TRUE(err.empty()) << err;
+    return v;
+}
+
+TEST(Report, FlagsPartialArtifactsAndQuarantinedDiffs)
+{
+    // Rendering a partial artifact names the damage up front.
+    std::ostringstream os;
+    ASSERT_TRUE(renderFigureTables(partialArtifact(), os));
+    EXPECT_NE(os.str().find("WARNING: partial artifact"),
+              std::string::npos)
+        << os.str();
+    EXPECT_NE(os.str().find("quarantined"), std::string::npos);
+
+    // A healthy artifact stays warning-free.
+    std::ostringstream clean;
+    ASSERT_TRUE(renderFigureTables(sampleArtifact(7016, true), clean));
+    EXPECT_EQ(clean.str().find("WARNING: partial artifact"),
+              std::string::npos);
+
+    // ok -> crashed+quarantined is a regression that says so.
+    const DiffResult broke =
+        diffArtifacts(sampleArtifact(7016, true), partialArtifact(), 0.02);
+    ASSERT_EQ(broke.regressions.size(), 1u);
+    EXPECT_NE(broke.regressions[0].find("quarantined"), std::string::npos)
+        << broke.regressions[0];
+
+    // Still-quarantined cells keep failing the diff even when the old
+    // artifact was already broken: quarantine is never an accepted
+    // steady state.
+    const DiffResult stuck =
+        diffArtifacts(partialArtifact(), partialArtifact(), 0.02);
+    ASSERT_EQ(stuck.regressions.size(), 1u);
+    EXPECT_NE(stuck.regressions[0].find("quarantined"), std::string::npos)
+        << stuck.regressions[0];
+}
+
 TEST(Report, CliExitCodes)
 {
     std::ostringstream os, err;
